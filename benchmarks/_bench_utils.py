@@ -1,0 +1,20 @@
+"""Small helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+__all__ = ["print_table"]
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Print a small aligned table (shown with ``pytest -s`` / in bench logs)."""
+
+    widths = [
+        max(len(str(headers[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(headers))
+    ]
+    line = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,115 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(see EXPERIMENTS.md for the index).  The problem sizes are scaled down so the
+full harness runs on a single CPU in minutes; the *shape* of each result
+(who wins, by what factor, how quantities trend with scale) is what is being
+reproduced, not the absolute wall-clock numbers of the authors' GPU cluster.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.data import generate_dataset                      # noqa: E402
+from repro.fd import solve_laplace_from_loop                 # noqa: E402
+from repro.models import SDNet                               # noqa: E402
+from repro.mosaic import FDSubdomainSolver, MosaicGeometry   # noqa: E402
+from repro.training import Trainer, TrainingConfig           # noqa: E402
+
+#: subdomain used throughout the benchmarks (9 grid points per side = a
+#: scaled-down version of the paper's 32x32-cell training subdomain)
+BENCH_SUBDOMAIN_POINTS = 9
+BENCH_SUBDOMAIN_EXTENT = 0.5
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    """Training dataset on the small subdomain (GP boundaries + FD solutions)."""
+
+    return generate_dataset(
+        num_samples=48,
+        resolution=BENCH_SUBDOMAIN_POINTS,
+        extent=(BENCH_SUBDOMAIN_EXTENT, BENCH_SUBDOMAIN_EXTENT),
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_trained_sdnet(bench_dataset):
+    """An SDNet trained briefly on the benchmark dataset (session-scoped)."""
+
+    train, val = bench_dataset.split(validation_fraction=0.125, seed=0)
+    model = SDNet(
+        boundary_size=bench_dataset.grid.boundary_size,
+        hidden_size=24,
+        trunk_layers=2,
+        embedding_channels=(2,),
+        rng=0,
+    )
+    config = TrainingConfig(
+        epochs=4,
+        batch_size=8,
+        data_points_per_domain=32,
+        collocation_points_per_domain=16,
+        max_lr=3e-3,
+        seed=0,
+    )
+    Trainer(model, config, train, val).fit()
+    return model
+
+
+@pytest.fixture(scope="session")
+def bench_geometry():
+    """A 2x2 spatial domain (4x the training subdomain per side /16 subdomains)."""
+
+    return MosaicGeometry(
+        subdomain_points=BENCH_SUBDOMAIN_POINTS,
+        subdomain_extent=BENCH_SUBDOMAIN_EXTENT,
+        steps_x=8,
+        steps_y=8,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_small_geometry():
+    """A 1x1 spatial domain (2x the training subdomain per side / 9 subdomains)."""
+
+    return MosaicGeometry(
+        subdomain_points=BENCH_SUBDOMAIN_POINTS,
+        subdomain_extent=BENCH_SUBDOMAIN_EXTENT,
+        steps_x=4,
+        steps_y=4,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_fd_solver_factory():
+    def factory(geometry):
+        return lambda: FDSubdomainSolver(geometry.subdomain_grid(), method="direct")
+
+    return factory
+
+
+@pytest.fixture(scope="session")
+def gp_boundary_problem(bench_small_geometry):
+    """A GP boundary condition and its reference solution on the 1x1 domain."""
+
+    from repro.data import GaussianProcessSampler
+
+    grid = bench_small_geometry.global_grid()
+    sampler = GaussianProcessSampler(
+        boundary_size=grid.boundary_size, perimeter=sum(grid.extent) * 2, seed=42
+    )
+    loop = sampler.sample_one()
+    canonical = grid.extract_boundary(grid.insert_boundary(loop))
+    reference = solve_laplace_from_loop(grid, canonical, method="direct")
+    return canonical, reference

@@ -1,0 +1,127 @@
+"""Ablations on the distributed design choices.
+
+1. **Relaxed synchronization** (Section 4.2): how much lattice accuracy is
+   lost at a fixed iteration budget when halo updates are exchanged only once
+   per iteration, as a function of the processor count.
+2. **Rank ordering** (row-wise scan vs. Morton order): the paper uses a
+   row-wise scan and mentions space-filling curves as future work; both are
+   implemented, this ablation compares their halo traffic and accuracy.
+3. **Classical Schwarz vs. Mosaic Flow work per iteration**: the MFP only
+   evaluates subdomain interfaces, classical ASM recomputes every subdomain
+   point.
+"""
+
+import numpy as np
+
+from _bench_utils import print_table
+from repro.distributed import ProcessGrid
+from repro.fd import Grid2D, solve_laplace, solve_laplace_from_loop
+from repro.mosaic import DistributedMosaicFlowPredictor, FDSubdomainSolver, MosaicGeometry
+from repro.mosaic.distributed import HaloExchangePlan, RankLayout
+from repro.pde import HARMONIC_FUNCTIONS
+from repro.schwarz import AlternatingSchwarz, uniform_decomposition
+
+ITERATIONS = 28
+
+
+def _problem(geometry):
+    grid = geometry.global_grid()
+    loop = grid.boundary_from_function(HARMONIC_FUNCTIONS["exp_sine"])
+    reference = solve_laplace_from_loop(grid, loop, method="direct")
+    return grid, loop, reference
+
+
+def test_ablation_relaxed_synchronization_staleness(benchmark, bench_geometry):
+    geometry = bench_geometry
+    grid, loop, reference = _problem(geometry)
+
+    def solver_factory():
+        return FDSubdomainSolver(geometry.subdomain_grid(), method="direct")
+
+    def run(world_size):
+        predictor = DistributedMosaicFlowPredictor(geometry, solver_factory)
+        results = predictor.run(world_size, loop, max_iterations=ITERATIONS, tol=0.0,
+                                reference=reference)
+        return results[0].mae_history[-1][1]
+
+    mae_1 = benchmark.pedantic(lambda: run(1), rounds=1, iterations=1)
+    maes = {1: mae_1}
+    for world_size in (2, 4):
+        maes[world_size] = run(world_size)
+
+    print_table(
+        f"Ablation — lattice MAE after {ITERATIONS} iterations vs processor count "
+        "(staleness of relaxed synchronization)",
+        ["GPUs", "lattice MAE"],
+        [[k, f"{v:.3e}"] for k, v in sorted(maes.items())],
+    )
+    # Staleness can only hurt (or match) accuracy at a fixed budget, and the
+    # degradation stays bounded (the paper reports <10 % extra iterations).
+    assert maes[2] >= maes[1] * 0.99
+    assert maes[4] >= maes[1] * 0.99
+    assert maes[4] < maes[1] * 10.0
+
+
+def test_ablation_row_scan_vs_morton_ordering(benchmark, bench_geometry):
+    geometry = bench_geometry
+    grid, loop, reference = _problem(geometry)
+    world_size = 4
+
+    def solver_factory():
+        return FDSubdomainSolver(geometry.subdomain_grid(), method="direct")
+
+    def run(ordering):
+        predictor = DistributedMosaicFlowPredictor(geometry, solver_factory, ordering=ordering)
+        results = predictor.run(world_size, loop, max_iterations=ITERATIONS, tol=0.0,
+                                reference=reference)
+        mae = results[0].mae_history[-1][1]
+        halo = max(r.halo_bytes_per_iteration for r in results)
+        messages = max(r.comm_stats["sends"] for r in results)
+        return mae, halo, messages
+
+    row = benchmark.pedantic(lambda: run("row"), rounds=1, iterations=1)
+    morton = run("morton")
+    print_table(
+        "Ablation — processor mapping: row-wise scan vs Morton order (4 ranks)",
+        ["ordering", "lattice MAE", "halo bytes/iter", "messages/iter (total)"],
+        [["row", f"{row[0]:.3e}", row[1], row[2]],
+         ["morton", f"{morton[0]:.3e}", morton[1], morton[2]]],
+    )
+    # Both orderings must converge to comparable accuracy; traffic may differ.
+    assert morton[0] < row[0] * 3 and row[0] < morton[0] * 3
+
+
+def test_ablation_mosaic_interface_work_vs_classical_schwarz(benchmark):
+    """Work per iteration: interface points (MFP) vs full subdomains (ASM)."""
+
+    geometry = MosaicGeometry(subdomain_points=9, subdomain_extent=0.5, steps_x=8, steps_y=8)
+    grid = geometry.global_grid()
+    exact = grid.field_from_function(HARMONIC_FUNCTIONS["exp_sine"])
+    boundary_field = np.where(grid.boundary_mask(), exact, 0.0)
+    reference = solve_laplace(grid, boundary_field, method="direct")
+
+    windows = uniform_decomposition(grid, (2, 2), overlap=4)
+    schwarz = AlternatingSchwarz(grid, windows)
+
+    def run_schwarz():
+        return schwarz.run(boundary_field, max_iterations=30, tol=1e-9, reference=reference)
+
+    schwarz_result = benchmark.pedantic(run_schwarz, rounds=1, iterations=1)
+
+    points_per_phase = len(geometry.center_line_local_indices()[0]) * len(
+        geometry.anchors_for_phase(0)
+    )
+    print_table(
+        "Ablation — per-iteration work: Mosaic Flow interfaces vs classical Schwarz",
+        ["method", "points recomputed / iteration", "iterations to tol", "final error"],
+        [
+            ["Mosaic Flow (interfaces only)", points_per_phase, "-", "-"],
+            [
+                "Classical alternating Schwarz",
+                schwarz.points_solved_per_iteration,
+                schwarz_result.iterations,
+                f"{schwarz_result.error_history[-1]:.2e}" if schwarz_result.error_history else "-",
+            ],
+        ],
+    )
+    assert schwarz.points_solved_per_iteration > 5 * points_per_phase

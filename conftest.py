@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Adds ``src/`` to ``sys.path`` so the test-suite and benchmarks run even when
+the package has not been installed (the offline environment lacks the
+``wheel`` package required by PEP 517 editable installs; see README).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

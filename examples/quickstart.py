@@ -1,0 +1,117 @@
+"""Quickstart: train an SDNet and solve a larger domain with Mosaic Flow.
+
+This is the smallest end-to-end run of the reproduction pipeline:
+
+1. generate a training dataset of Gaussian-process boundary conditions and
+   finite-difference reference solutions on a small (0.5 x 0.5) subdomain,
+2. train the physics-informed SDNet (data loss + Laplace residual loss),
+3. use the trained network as the subdomain solver of the Mosaic Flow
+   predictor to solve the Laplace equation on a domain four times larger —
+   by inference only, with no retraining — and
+4. compare against the numerical reference solution.
+
+Run with::
+
+    python examples/quickstart.py [--epochs 6] [--samples 64]
+
+Everything is scaled down so the script finishes in a few minutes on a CPU.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.data import generate_dataset
+from repro.fd import solve_laplace_from_loop
+from repro.models import SDNet
+from repro.mosaic import MosaicFlowPredictor, MosaicGeometry, SDNetSubdomainSolver
+from repro.pde import sine_boundary_bvp
+from repro.training import Trainer, TrainingConfig, mae
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--samples", type=int, default=64, help="training BVP instances")
+    parser.add_argument("--epochs", type=int, default=6, help="training epochs")
+    parser.add_argument("--resolution", type=int, default=9,
+                        help="grid points per subdomain side (odd)")
+    parser.add_argument("--hidden", type=int, default=32, help="SDNet hidden width")
+    parser.add_argument("--seed", type=int, default=0)
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+
+    # ------------------------------------------------------------------ data
+    print(f"[1/4] Generating {args.samples} boundary-value problems "
+          f"on a {args.resolution}x{args.resolution} subdomain ...")
+    tic = time.perf_counter()
+    dataset = generate_dataset(
+        num_samples=args.samples, resolution=args.resolution, extent=(0.5, 0.5),
+        seed=args.seed,
+    )
+    train, val = dataset.split(validation_fraction=0.1, seed=args.seed)
+    print(f"      done in {time.perf_counter() - tic:.1f} s "
+          f"({len(train)} train / {len(val)} validation instances)")
+
+    # -------------------------------------------------------------- training
+    print("[2/4] Training the physics-informed SDNet ...")
+    model = SDNet(
+        boundary_size=dataset.grid.boundary_size,
+        hidden_size=args.hidden,
+        trunk_layers=2,
+        embedding_channels=(4,),
+        rng=args.seed,
+    )
+    config = TrainingConfig(
+        epochs=args.epochs,
+        batch_size=8,
+        data_points_per_domain=32,
+        collocation_points_per_domain=16,
+        max_lr=3e-3,
+        optimizer="lamb",
+        seed=args.seed,
+    )
+    trainer = Trainer(model, config, train, val)
+    tic = time.perf_counter()
+    history = trainer.fit()
+    print(f"      done in {time.perf_counter() - tic:.1f} s")
+    for epoch, mse in enumerate(history.validation_mse, start=1):
+        print(f"      epoch {epoch:2d}: validation MSE = {mse:.5f}")
+
+    # ----------------------------------------------------------- Mosaic Flow
+    print("[3/4] Solving a 4x-larger domain with the Mosaic Flow predictor ...")
+    geometry = MosaicGeometry(
+        subdomain_points=args.resolution, subdomain_extent=0.5, steps_x=4, steps_y=4
+    )
+    grid = geometry.global_grid()
+    bvp = sine_boundary_bvp()
+    boundary_loop = bvp.boundary_loop(grid)
+    reference = solve_laplace_from_loop(grid, boundary_loop, method="direct")
+
+    predictor = MosaicFlowPredictor(geometry, SDNetSubdomainSolver(model), batched=True)
+    tic = time.perf_counter()
+    result = predictor.run(boundary_loop, max_iterations=100, tol=1e-5, reference=reference)
+    print(f"      {result.iterations} iterations in {time.perf_counter() - tic:.1f} s "
+          f"(converged: {result.converged})")
+
+    # ------------------------------------------------------------ evaluation
+    print("[4/4] Comparing against the finite-difference reference ...")
+    error = mae(result.solution, reference)
+    print(f"      domain resolution : {grid.ny} x {grid.nx}")
+    print(f"      atomic subdomains : {geometry.num_subdomains}")
+    print(f"      MAE vs reference  : {error:.4f}")
+    print(f"      max abs error     : {np.max(np.abs(result.solution - reference)):.4f}")
+    print("\nIncrease --samples/--epochs (paper: 20,000 samples, 500 epochs) to tighten the error.")
+
+
+if __name__ == "__main__":
+    main()

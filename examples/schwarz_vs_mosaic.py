@@ -1,0 +1,109 @@
+"""Classical overlapping Schwarz vs. the Mosaic Flow predictor.
+
+Both methods solve the same Dirichlet Laplace problem by iterating over
+overlapping subdomains, but they differ in what they compute per iteration:
+
+* classical alternating Schwarz re-solves *every grid point* of every
+  subdomain with a numerical solver,
+* Mosaic Flow only predicts the *interface lattice* (the subdomain centre
+  lines) and defers the dense solve to a single final assembly pass.
+
+This example runs both on the same domain and prints iteration counts, the
+number of points recomputed per iteration and the final error against the
+global finite-difference reference — the quantitative version of the paper's
+Section 2.4 argument for interface-only iteration.
+
+Run with::
+
+    python examples/schwarz_vs_mosaic.py [--steps 8] [--overlap 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.fd import solve_laplace
+from repro.mosaic import FDSubdomainSolver, MosaicFlowPredictor, MosaicGeometry
+from repro.pde import HARMONIC_FUNCTIONS
+from repro.schwarz import AlternatingSchwarz, uniform_decomposition
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=8,
+                        help="half-subdomain steps per side of the domain")
+    parser.add_argument("--resolution", type=int, default=9,
+                        help="grid points per subdomain side (odd)")
+    parser.add_argument("--overlap", type=int, default=4,
+                        help="overlap (grid points) of the classical Schwarz windows")
+    parser.add_argument("--blocks", type=int, default=2,
+                        help="classical Schwarz blocks per side")
+    parser.add_argument("--boundary", choices=sorted(HARMONIC_FUNCTIONS), default="exp_sine")
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    geometry = MosaicGeometry(
+        subdomain_points=args.resolution, subdomain_extent=0.5,
+        steps_x=args.steps, steps_y=args.steps,
+    )
+    grid = geometry.global_grid()
+    fn = HARMONIC_FUNCTIONS[args.boundary]
+    exact = grid.field_from_function(fn)
+    boundary_field = np.where(grid.boundary_mask(), exact, 0.0)
+    loop = grid.extract_boundary(exact)
+
+    print(f"Domain: {grid.extent[0]:.1f} x {grid.extent[1]:.1f} ({grid.ny}x{grid.nx} grid), "
+          f"boundary condition: '{args.boundary}'")
+    print("Computing the global finite-difference reference ...")
+    reference = solve_laplace(grid, boundary_field, method="auto")
+
+    # ------------------------------------------------------ classical Schwarz
+    windows = uniform_decomposition(grid, (args.blocks, args.blocks), overlap=args.overlap)
+    schwarz = AlternatingSchwarz(grid, windows, mode="multiplicative")
+    tic = time.perf_counter()
+    schwarz_result = schwarz.run(boundary_field, max_iterations=100, tol=1e-8,
+                                 reference=reference)
+    schwarz_time = time.perf_counter() - tic
+
+    # ---------------------------------------------------------- Mosaic Flow
+    mosaic = MosaicFlowPredictor(
+        geometry, FDSubdomainSolver(geometry.subdomain_grid(), method="direct"), batched=True
+    )
+    tic = time.perf_counter()
+    mosaic_result = mosaic.run(loop, max_iterations=400, tol=1e-7, reference=reference)
+    mosaic_time = time.perf_counter() - tic
+
+    interface_points = len(geometry.center_line_local_indices()[0]) * max(
+        len(geometry.anchors_for_phase(p)) for p in range(4)
+    )
+
+    print(f"\n{'method':<32} | {'iterations':>10} | {'pts/iteration':>13} | "
+          f"{'final MAE':>10} | {'time':>7}")
+    print("-" * 88)
+    print(f"{'classical alternating Schwarz':<32} | {schwarz_result.iterations:>10} | "
+          f"{schwarz.points_solved_per_iteration:>13} | "
+          f"{np.mean(np.abs(schwarz_result.solution - reference)):>10.2e} | "
+          f"{schwarz_time:>6.1f}s")
+    print(f"{'Mosaic Flow (interface lattice)':<32} | {mosaic_result.iterations:>10} | "
+          f"{interface_points:>13} | "
+          f"{np.mean(np.abs(mosaic_result.solution - reference)):>10.2e} | "
+          f"{mosaic_time:>6.1f}s")
+
+    ratio = schwarz.points_solved_per_iteration / interface_points
+    print(f"\nMosaic Flow evaluates {ratio:.0f}x fewer points per iteration; classical Schwarz")
+    print("needs fewer iterations (it uses much larger subdomains with more overlap), which is")
+    print("exactly the trade-off the paper exploits: cheap interface-only iterations that are")
+    print("batched into large device-friendly inferences.")
+
+
+if __name__ == "__main__":
+    main()

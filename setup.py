@@ -1,0 +1,22 @@
+"""Setuptools entry point.
+
+The pinned environment ships setuptools without the ``wheel`` package, so the
+PEP 517 editable-install path (``build_editable`` -> ``bdist_wheel``) is not
+available.  Keeping a ``setup.py`` allows ``pip install -e .`` to fall back to
+the legacy ``setup.py develop`` code path, which works offline.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'Breaking Boundaries: Distributed Domain "
+        "Decomposition with Scalable Physics-Informed Neural PDE Solvers' (SC '23)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

@@ -1,0 +1,24 @@
+"""repro — reproduction of distributed Mosaic Flow (SC '23).
+
+The package implements, from scratch and on top of numpy only:
+
+* ``repro.autodiff`` — reverse-mode AD with higher-order gradients,
+* ``repro.nn`` / ``repro.models`` / ``repro.optim`` — the SDNet physics-
+  informed neural PDE solver, its input-concat baseline, and optimizers,
+* ``repro.pde`` / ``repro.fd`` — boundary-value problems and the finite
+  difference / geometric multigrid substrate used for ground truth,
+* ``repro.data`` — Gaussian-process boundary condition generation,
+* ``repro.distributed`` — an MPI-like simulated communicator with a
+  communication cost model,
+* ``repro.training`` — single-device and data-parallel (Algorithm 1)
+  training,
+* ``repro.mosaic`` — the Mosaic Flow predictor: sequential, batched and
+  distributed (Algorithm 2),
+* ``repro.schwarz`` — classical Schwarz domain decomposition baselines,
+* ``repro.perfmodel`` — GPU and alpha-beta scaling models used to
+  regenerate the paper's performance figures.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

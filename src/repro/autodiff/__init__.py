@@ -1,0 +1,47 @@
+"""Reverse-mode automatic differentiation engine.
+
+This package replaces the role PyTorch autograd plays in the original paper.
+It provides:
+
+* :class:`Tensor` — a numpy-backed array recording operations,
+* primitive ops in :mod:`repro.autodiff.ops` whose VJPs are themselves
+  differentiable (higher-order gradients),
+* :func:`grad` / :func:`backward` / :func:`gradcheck` in
+  :mod:`repro.autodiff.functional`,
+* forward Taylor-mode second-derivative propagation in
+  :mod:`repro.autodiff.taylor`, used as the optimized Laplacian path,
+* :class:`GraphMemoryTracker` for the Table 3 memory study.
+"""
+
+from .tensor import (
+    DEFAULT_DTYPE,
+    GraphMemoryTracker,
+    Tensor,
+    astensor,
+    enable_grad,
+    is_grad_enabled,
+    no_grad,
+    set_grad_enabled,
+)
+from . import ops
+from .functional import backward, grad, gradcheck, jacobian
+from .taylor import TaylorTriple, taylor_constant, taylor_seed
+
+__all__ = [
+    "Tensor",
+    "astensor",
+    "no_grad",
+    "enable_grad",
+    "set_grad_enabled",
+    "is_grad_enabled",
+    "grad",
+    "backward",
+    "gradcheck",
+    "jacobian",
+    "ops",
+    "TaylorTriple",
+    "taylor_constant",
+    "taylor_seed",
+    "GraphMemoryTracker",
+    "DEFAULT_DTYPE",
+]

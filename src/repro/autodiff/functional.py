@@ -1,0 +1,188 @@
+"""Functional gradient interface: :func:`grad`, :func:`backward`, gradcheck.
+
+The API intentionally mirrors ``torch.autograd``:
+
+* :func:`grad` returns gradients of a scalar (or vector, given
+  ``grad_output``) with respect to an explicit list of inputs, optionally
+  building a differentiable graph of the backward pass
+  (``create_graph=True``) so that second derivatives — required by the PDE
+  residual loss — can be taken.
+* :func:`backward` accumulates ``.grad`` on leaf tensors, which is what the
+  optimizers consume.
+* :func:`gradcheck` compares analytic gradients against central finite
+  differences and underpins a large part of the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor, _iter_graph, astensor, no_grad, set_grad_enabled
+
+__all__ = ["grad", "backward", "gradcheck", "jacobian"]
+
+
+def _ones_like(t: Tensor) -> Tensor:
+    return Tensor(np.ones_like(t.data))
+
+
+def _accumulate_cotangents(
+    output: Tensor, grad_output: Tensor, create_graph: bool
+) -> dict[int, Tensor]:
+    """Run the reverse sweep and return a map ``id(tensor) -> cotangent``."""
+
+    order = list(_iter_graph(output))
+    cotangents: dict[int, Tensor] = {id(output): grad_output}
+
+    with set_grad_enabled(create_graph):
+        for node in reversed(order):
+            cot = cotangents.get(id(node))
+            if cot is None:
+                continue
+            for parent, vjp in node._parents:
+                contribution = vjp(cot)
+                existing = cotangents.get(id(parent))
+                if existing is None:
+                    cotangents[id(parent)] = contribution
+                else:
+                    cotangents[id(parent)] = existing + contribution
+    return cotangents
+
+
+def grad(
+    output: Tensor,
+    inputs: Sequence[Tensor] | Tensor,
+    grad_output: Tensor | None = None,
+    create_graph: bool = False,
+    allow_unused: bool = True,
+) -> list[Tensor]:
+    """Compute gradients of ``output`` with respect to ``inputs``.
+
+    Parameters
+    ----------
+    output:
+        Tensor to differentiate.  If it is not a scalar, ``grad_output`` must
+        be supplied (the cotangent seeding the reverse sweep).
+    inputs:
+        Tensor or sequence of tensors to differentiate with respect to.
+    grad_output:
+        Seed cotangent; defaults to ones.
+    create_graph:
+        Record the backward computation so the returned gradients are
+        themselves differentiable (needed for the Laplacian in the PDE loss).
+    allow_unused:
+        If ``True`` (default) inputs not reachable from ``output`` receive a
+        zero gradient instead of raising.
+    """
+
+    single = isinstance(inputs, Tensor)
+    input_list = [inputs] if single else list(inputs)
+    if grad_output is None:
+        if output.size != 1:
+            raise ValueError("grad requires grad_output for non-scalar outputs")
+        grad_output = _ones_like(output)
+    else:
+        grad_output = astensor(grad_output)
+
+    cotangents = _accumulate_cotangents(output, grad_output, create_graph)
+
+    results: list[Tensor] = []
+    for inp in input_list:
+        cot = cotangents.get(id(inp))
+        if cot is None:
+            if not allow_unused:
+                raise RuntimeError("an input tensor was not used in the graph")
+            cot = Tensor(np.zeros_like(inp.data))
+        results.append(cot)
+    return results
+
+
+def backward(output: Tensor, grad_output: Tensor | None = None) -> None:
+    """Accumulate gradients into ``.grad`` of every reachable leaf tensor."""
+
+    if grad_output is None:
+        if output.size != 1:
+            raise ValueError("backward requires grad_output for non-scalar outputs")
+        grad_output = _ones_like(output)
+    else:
+        grad_output = astensor(grad_output)
+
+    cotangents = _accumulate_cotangents(output, grad_output, create_graph=False)
+
+    order = list(_iter_graph(output))
+    for node in order:
+        if node.is_leaf and node.requires_grad:
+            cot = cotangents.get(id(node))
+            if cot is None:
+                continue
+            if node.grad is None:
+                node.grad = Tensor(cot.data.copy())
+            else:
+                node.grad = Tensor(node.grad.data + cot.data)
+
+
+def jacobian(fn: Callable[[Tensor], Tensor], x: Tensor) -> np.ndarray:
+    """Dense Jacobian of ``fn`` at ``x`` by repeated reverse-mode sweeps.
+
+    Only intended for small problems (tests, verification); shape is
+    ``(output_size, input_size)``.
+    """
+
+    x = astensor(x)
+    x_var = Tensor(x.data, requires_grad=True)
+    y = fn(x_var)
+    out_size, in_size = y.size, x_var.size
+    result = np.zeros((out_size, in_size))
+    flat_shape = y.shape
+    for i in range(out_size):
+        seed = np.zeros(out_size)
+        seed[i] = 1.0
+        (gx,) = grad(y, [x_var], grad_output=Tensor(seed.reshape(flat_shape)))
+        result[i, :] = gx.data.reshape(-1)
+    return result
+
+
+def gradcheck(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    eps: float = 1e-6,
+    rtol: float = 1e-4,
+    atol: float = 1e-6,
+) -> bool:
+    """Verify reverse-mode gradients of a scalar-valued ``fn`` numerically.
+
+    ``fn`` receives the tensors in ``inputs`` and must return a scalar
+    tensor.  Central finite differences are compared against the analytic
+    gradient for every element of every input.  Raises ``AssertionError``
+    with a diagnostic message on mismatch, returns ``True`` otherwise.
+    """
+
+    inputs = [astensor(t) for t in inputs]
+    var_inputs = [Tensor(t.data.copy(), requires_grad=True) for t in inputs]
+    output = fn(*var_inputs)
+    if output.size != 1:
+        raise ValueError("gradcheck requires a scalar-valued function")
+    analytic = grad(output, var_inputs)
+
+    for idx, inp in enumerate(var_inputs):
+        numeric = np.zeros_like(inp.data)
+        flat = inp.data.reshape(-1)
+        numeric_flat = numeric.reshape(-1)
+        for j in range(flat.size):
+            original = flat[j]
+            flat[j] = original + eps
+            with no_grad():
+                f_plus = fn(*var_inputs).item()
+            flat[j] = original - eps
+            with no_grad():
+                f_minus = fn(*var_inputs).item()
+            flat[j] = original
+            numeric_flat[j] = (f_plus - f_minus) / (2.0 * eps)
+        if not np.allclose(analytic[idx].data, numeric, rtol=rtol, atol=atol):
+            max_err = np.max(np.abs(analytic[idx].data - numeric))
+            raise AssertionError(
+                f"gradcheck failed for input {idx}: max abs error {max_err:.3e}"
+            )
+    return True

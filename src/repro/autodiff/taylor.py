@@ -1,0 +1,133 @@
+"""Forward Taylor-mode propagation of second derivatives.
+
+The PDE residual of the Laplace equation needs the sum of unmixed second
+derivatives of the network output with respect to the spatial inputs
+(``u_xx + u_yy``).  The paper computes them with nested reverse-mode passes
+("three backward passes" in Section 5.2).  This module implements the
+alternative *forward-over-reverse* strategy: the value, first directional
+derivative, and second directional derivative along a coordinate direction
+are propagated together through the network.
+
+Each component of a :class:`TaylorTriple` is an ordinary autodiff
+:class:`~repro.autodiff.tensor.Tensor`, so the resulting second derivative is
+still differentiable with respect to the network *parameters* with a single
+reverse sweep.  Compared with double backward this reduces graph size and is
+used as the optimized Laplacian path; the two are cross-validated in the test
+suite and compared in an ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from . import ops
+from .tensor import Tensor, astensor
+
+__all__ = ["TaylorTriple", "taylor_constant", "taylor_seed"]
+
+
+@dataclass
+class TaylorTriple:
+    """Second-order Taylor coefficients along one direction.
+
+    Attributes
+    ----------
+    value:
+        ``f(x)``
+    d1:
+        first directional derivative ``d f / d t``
+    d2:
+        second directional derivative ``d^2 f / d t^2``
+    """
+
+    value: Tensor
+    d1: Tensor
+    d2: Tensor
+
+    # -- linear operations --------------------------------------------------
+
+    def __add__(self, other: "TaylorTriple | Tensor | float") -> "TaylorTriple":
+        if isinstance(other, TaylorTriple):
+            return TaylorTriple(
+                self.value + other.value, self.d1 + other.d1, self.d2 + other.d2
+            )
+        other = astensor(other)
+        return TaylorTriple(self.value + other, self.d1, self.d2)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "TaylorTriple | Tensor | float") -> "TaylorTriple":
+        if isinstance(other, TaylorTriple):
+            return TaylorTriple(
+                self.value - other.value, self.d1 - other.d1, self.d2 - other.d2
+            )
+        other = astensor(other)
+        return TaylorTriple(self.value - other, self.d1, self.d2)
+
+    def __mul__(self, other: "TaylorTriple | Tensor | float") -> "TaylorTriple":
+        if isinstance(other, TaylorTriple):
+            # Product rule up to second order.
+            value = self.value * other.value
+            d1 = self.d1 * other.value + self.value * other.d1
+            d2 = (
+                self.d2 * other.value
+                + 2.0 * (self.d1 * other.d1)
+                + self.value * other.d2
+            )
+            return TaylorTriple(value, d1, d2)
+        other = astensor(other)
+        return TaylorTriple(self.value * other, self.d1 * other, self.d2 * other)
+
+    __rmul__ = __mul__
+
+    def matmul(self, weight: Tensor) -> "TaylorTriple":
+        """Right-multiply by a weight matrix that does not depend on the direction."""
+
+        return TaylorTriple(
+            ops.matmul(self.value, weight),
+            ops.matmul(self.d1, weight),
+            ops.matmul(self.d2, weight),
+        )
+
+    def apply_activation(
+        self,
+        f: Callable[[Tensor], Tensor],
+        f1: Callable[[Tensor], Tensor],
+        f2: Callable[[Tensor], Tensor],
+    ) -> "TaylorTriple":
+        """Propagate through an elementwise activation via Faà di Bruno.
+
+        ``f``, ``f1`` and ``f2`` evaluate the activation and its first and
+        second derivatives at a tensor argument.
+        """
+
+        value = f(self.value)
+        first = f1(self.value)
+        second = f2(self.value)
+        d1 = first * self.d1
+        d2 = second * (self.d1 * self.d1) + first * self.d2
+        return TaylorTriple(value, d1, d2)
+
+
+def taylor_constant(value: Tensor) -> TaylorTriple:
+    """A quantity that does not vary along the differentiation direction."""
+
+    value = astensor(value)
+    zero = Tensor(np.zeros_like(value.data))
+    return TaylorTriple(value, zero, Tensor(np.zeros_like(value.data)))
+
+
+def taylor_seed(value: Tensor, direction: np.ndarray) -> TaylorTriple:
+    """Seed a Taylor triple for an input varying linearly along ``direction``.
+
+    ``direction`` must broadcast against ``value``; the second derivative of
+    a linear seed is zero.
+    """
+
+    value = astensor(value)
+    d1 = Tensor(np.broadcast_to(np.asarray(direction, dtype=value.data.dtype), value.shape).copy())
+    d2 = Tensor(np.zeros_like(value.data))
+    return TaylorTriple(value, d1, d2)

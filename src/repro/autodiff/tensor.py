@@ -1,0 +1,304 @@
+"""Core reverse-mode automatic differentiation tensor.
+
+This module provides the :class:`Tensor` class used throughout the
+reproduction in place of a deep-learning framework.  A ``Tensor`` wraps a
+``numpy.ndarray`` and records the operations applied to it so that gradients
+can be computed by reverse-mode automatic differentiation.
+
+Two properties are essential for reproducing the paper:
+
+* **Higher-order gradients.**  The physics-informed loss (eq. 3 of the paper)
+  requires the Laplacian of the network output with respect to its *inputs*,
+  and the gradient of that Laplacian with respect to the network
+  *parameters*.  The vector-Jacobian products (VJPs) registered by the
+  primitive operations are themselves expressed with ``Tensor`` operations,
+  so calling :func:`repro.autodiff.grad` with ``create_graph=True`` builds a
+  differentiable graph of the backward pass (``double backward``).
+
+* **Graph memory accounting.**  Table 3 of the paper reports device memory
+  consumed by the autograd graph with and without the PDE loss.  The
+  :class:`GraphMemoryTracker` context manager records the bytes of every
+  intermediate tensor retained by the graph, which is the CPU analogue of
+  that measurement.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Tensor",
+    "astensor",
+    "asarray",
+    "is_grad_enabled",
+    "no_grad",
+    "enable_grad",
+    "set_grad_enabled",
+    "GraphMemoryTracker",
+    "DEFAULT_DTYPE",
+]
+
+DEFAULT_DTYPE = np.float64
+
+# ---------------------------------------------------------------------------
+# Gradient mode (thread-local)
+# ---------------------------------------------------------------------------
+#
+# The simulated cluster runs every rank in its own thread, and both the
+# data-parallel trainer and the distributed predictor toggle gradient
+# recording (``no_grad`` during inference, graph-free accumulation during the
+# reverse sweep).  The flag is therefore thread-local: one rank entering
+# ``no_grad`` must not disable recording for a rank that is mid-backward.
+
+
+class _GradMode(threading.local):
+    enabled: bool = True
+
+
+_GRAD_MODE = _GradMode()
+
+
+def is_grad_enabled() -> bool:
+    """Return ``True`` if operations are currently being recorded (this thread)."""
+
+    return _GRAD_MODE.enabled
+
+
+@contextlib.contextmanager
+def set_grad_enabled(mode: bool):
+    """Context manager that sets gradient recording to ``mode`` for this thread."""
+
+    previous = _GRAD_MODE.enabled
+    _GRAD_MODE.enabled = bool(mode)
+    try:
+        yield
+    finally:
+        _GRAD_MODE.enabled = previous
+
+
+def no_grad():
+    """Context manager that disables gradient recording."""
+
+    return set_grad_enabled(False)
+
+
+def enable_grad():
+    """Context manager that enables gradient recording."""
+
+    return set_grad_enabled(True)
+
+
+# ---------------------------------------------------------------------------
+# Graph memory tracking (used by the Table 3 reproduction)
+# ---------------------------------------------------------------------------
+
+
+class GraphMemoryTracker:
+    """Accumulate the bytes of every tensor recorded on the autodiff graph.
+
+    The tracker is a coarse but faithful analogue of the "maximum memory
+    allocated" measurement in Table 3 of the paper: when the PDE loss is
+    enabled, the backward-of-backward graph retains far more intermediate
+    activations, and the tracked byte count grows accordingly.
+
+    Example
+    -------
+    >>> from repro.autodiff import Tensor, GraphMemoryTracker
+    >>> with GraphMemoryTracker() as tracker:
+    ...     x = Tensor([1.0, 2.0], requires_grad=True)
+    ...     y = (x * x).sum()
+    >>> tracker.graph_bytes > 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.graph_bytes: int = 0
+        self.tensor_count: int = 0
+
+    def record(self, array: np.ndarray) -> None:
+        self.graph_bytes += int(array.nbytes)
+        self.tensor_count += 1
+
+    def __enter__(self) -> "GraphMemoryTracker":
+        _ACTIVE_TRACKERS.append(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _ACTIVE_TRACKERS.remove(self)
+
+
+_ACTIVE_TRACKERS: list[GraphMemoryTracker] = []
+
+
+def _notify_trackers(array: np.ndarray) -> None:
+    if _ACTIVE_TRACKERS:
+        for tracker in _ACTIVE_TRACKERS:
+            tracker.record(array)
+
+
+# ---------------------------------------------------------------------------
+# Tensor
+# ---------------------------------------------------------------------------
+
+
+def asarray(value, dtype=DEFAULT_DTYPE) -> np.ndarray:
+    """Convert ``value`` to a numpy array of the library default dtype."""
+
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=dtype)
+
+
+class Tensor:
+    """A numpy-backed array that records operations for reverse-mode AD.
+
+    Parameters
+    ----------
+    data:
+        Array-like value.  Converted to ``float64`` by default.
+    requires_grad:
+        If ``True`` the tensor participates in gradient computation.
+    """
+
+    __slots__ = ("data", "requires_grad", "grad", "_parents", "_op_name")
+
+    def __init__(self, data, requires_grad: bool = False, dtype=DEFAULT_DTYPE):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data: np.ndarray = np.asarray(data, dtype=dtype)
+        self.requires_grad: bool = bool(requires_grad)
+        self.grad: "Tensor | None" = None
+        # Sequence of (parent_tensor, vjp_callable) pairs.  Empty for leaves.
+        self._parents: tuple = ()
+        self._op_name: str = "leaf"
+
+    # -- graph construction -------------------------------------------------
+
+    @classmethod
+    def _from_op(
+        cls,
+        data: np.ndarray,
+        parents: Sequence[tuple["Tensor", Callable[["Tensor"], "Tensor"]]],
+        op_name: str,
+    ) -> "Tensor":
+        """Create a tensor that is the result of a primitive operation."""
+
+        requires = is_grad_enabled() and any(p.requires_grad for p, _ in parents)
+        out = cls.__new__(cls)
+        out.data = np.asarray(data, dtype=DEFAULT_DTYPE)
+        out.grad = None
+        if requires:
+            out.requires_grad = True
+            out._parents = tuple((p, fn) for p, fn in parents if p.requires_grad)
+            out._op_name = op_name
+            _notify_trackers(out.data)
+        else:
+            out.requires_grad = False
+            out._parents = ()
+            out._op_name = op_name
+        return out
+
+    # -- basic introspection -------------------------------------------------
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self._parents
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (not a copy)."""
+
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but detached from the graph."""
+
+        out = Tensor.__new__(Tensor)
+        out.data = self.data
+        out.requires_grad = False
+        out.grad = None
+        out._parents = ()
+        out._op_name = "detach"
+        return out
+
+    def copy(self) -> "Tensor":
+        """Return a detached copy of this tensor."""
+
+        return Tensor(self.data.copy())
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        grad_part = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=5)}{grad_part})"
+
+    # -- gradient API ---------------------------------------------------------
+
+    def backward(self, grad_output: "Tensor | None" = None) -> None:
+        """Backpropagate from this tensor, accumulating ``.grad`` on leaves.
+
+        Equivalent to ``loss.backward()`` in PyTorch.  ``grad_output``
+        defaults to a tensor of ones matching this tensor's shape.
+        """
+
+        from . import functional
+
+        functional.backward(self, grad_output=grad_output)
+
+    # Arithmetic operators are attached by :mod:`repro.autodiff.ops` at import
+    # time to avoid a circular import; see the bottom of that module.
+
+
+def astensor(value, requires_grad: bool = False) -> Tensor:
+    """Convert ``value`` to a :class:`Tensor` (no copy if already a tensor)."""
+
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+def _iter_graph(root: Tensor) -> Iterable[Tensor]:
+    """Yield graph nodes reachable from ``root`` in topological order."""
+
+    seen: set[int] = set()
+    order: list[Tensor] = []
+    stack: list[tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        stack.append((node, True))
+        for parent, _ in node._parents:
+            if id(parent) not in seen:
+                stack.append((parent, False))
+    return order

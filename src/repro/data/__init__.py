@@ -1,0 +1,22 @@
+"""Data generation: Gaussian-process boundary conditions and SDNet datasets."""
+
+from .dataset import BatchIterator, SDNetDataset, TrainingBatch, generate_dataset
+from .gp import (
+    GaussianProcessSampler,
+    GPBoundaryConfig,
+    periodic_kernel,
+    sample_kernel_hyperparameters,
+    squared_exponential_kernel,
+)
+
+__all__ = [
+    "GaussianProcessSampler",
+    "GPBoundaryConfig",
+    "squared_exponential_kernel",
+    "periodic_kernel",
+    "sample_kernel_hyperparameters",
+    "SDNetDataset",
+    "TrainingBatch",
+    "BatchIterator",
+    "generate_dataset",
+]

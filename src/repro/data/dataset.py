@@ -1,0 +1,275 @@
+"""SDNet training dataset generation and batching.
+
+The training dataset (Section 5.2 of the paper) consists of boundary
+conditions drawn from Gaussian processes on a small square domain, paired
+with reference solutions from the numerical substrate (the pyAMG stand-in).
+Each training batch supplies
+
+* a batch of boundary loops ``G`` of shape ``(B, 4N)``,
+* data points with known solutions (sub-sampled grid points) and
+* freshly sampled collocation points for the PDE residual term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from ..fd.grid import Grid2D
+from ..fd.solve import solve_laplace_from_loop
+from ..pde.bvp import Domain
+from ..pde.collocation import sample_interior_uniform
+from .gp import GaussianProcessSampler, GPBoundaryConfig
+
+__all__ = ["SDNetDataset", "TrainingBatch", "BatchIterator", "generate_dataset"]
+
+
+@dataclass
+class TrainingBatch:
+    """One mini-batch of SDNet training data.
+
+    Attributes
+    ----------
+    boundaries:
+        ``(B, 4N)`` boundary loops.
+    x_data:
+        ``(B, q_data, 2)`` coordinates with known solution values.
+    u_data:
+        ``(B, q_data)`` reference solution values at ``x_data``.
+    x_collocation:
+        ``(B, q_collocation, 2)`` collocation coordinates for the PDE loss.
+    indices:
+        Dataset indices of the boundary conditions in the batch.
+    """
+
+    boundaries: np.ndarray
+    x_data: np.ndarray
+    u_data: np.ndarray
+    x_collocation: np.ndarray
+    indices: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return self.boundaries.shape[0]
+
+
+@dataclass
+class SDNetDataset:
+    """Boundary conditions with reference solutions on a fixed small grid."""
+
+    grid: Grid2D
+    boundaries: np.ndarray       # (n, 4N)
+    solutions: np.ndarray        # (n, ny, nx)
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.boundaries.ndim != 2 or self.solutions.ndim != 3:
+            raise ValueError("boundaries must be 2-D and solutions 3-D arrays")
+        if self.boundaries.shape[0] != self.solutions.shape[0]:
+            raise ValueError("boundaries and solutions must have the same length")
+        if self.boundaries.shape[1] != self.grid.boundary_size:
+            raise ValueError("boundary vectors do not match the grid boundary size")
+        if self.solutions.shape[1:] != self.grid.shape:
+            raise ValueError("solution fields do not match the grid shape")
+
+    def __len__(self) -> int:
+        return self.boundaries.shape[0]
+
+    @property
+    def domain(self) -> Domain:
+        return Domain(extent=self.grid.extent, origin=self.grid.origin)
+
+    def split(self, validation_fraction: float = 0.1, seed: int = 0) -> tuple["SDNetDataset", "SDNetDataset"]:
+        """Random train/validation split (paper: 90 % / 10 %)."""
+
+        if not 0.0 < validation_fraction < 1.0:
+            raise ValueError("validation_fraction must be in (0, 1)")
+        n = len(self)
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(n)
+        n_val = max(int(round(n * validation_fraction)), 1)
+        val_idx, train_idx = order[:n_val], order[n_val:]
+        train = SDNetDataset(
+            self.grid, self.boundaries[train_idx], self.solutions[train_idx],
+            metadata=dict(self.metadata, split="train"),
+        )
+        val = SDNetDataset(
+            self.grid, self.boundaries[val_idx], self.solutions[val_idx],
+            metadata=dict(self.metadata, split="validation"),
+        )
+        return train, val
+
+    def subset(self, indices: np.ndarray) -> "SDNetDataset":
+        indices = np.asarray(indices, dtype=int)
+        return SDNetDataset(
+            self.grid, self.boundaries[indices], self.solutions[indices],
+            metadata=dict(self.metadata),
+        )
+
+    # -- batch assembly ---------------------------------------------------------
+
+    def data_points(
+        self, indices: np.ndarray, points_per_domain: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sub-sample interior grid points with known solutions.
+
+        Returns ``(x_data, u_data)`` with shapes ``(B, q, 2)`` and ``(B, q)``.
+        """
+
+        interior = self.grid.interior_points()           # (num_interior, 2)
+        num_interior = interior.shape[0]
+        points_per_domain = min(points_per_domain, num_interior)
+        batch = len(indices)
+        x_data = np.empty((batch, points_per_domain, 2))
+        u_data = np.empty((batch, points_per_domain))
+        for row, index in enumerate(indices):
+            choice = rng.choice(num_interior, size=points_per_domain, replace=False)
+            x_data[row] = interior[choice]
+            interior_values = self.solutions[index][1:-1, 1:-1].reshape(-1)
+            u_data[row] = interior_values[choice]
+        return x_data, u_data
+
+    def collocation_points(
+        self, batch: int, points_per_domain: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Freshly sampled interior collocation points, shape ``(B, q, 2)``."""
+
+        domain = self.domain
+        points = np.empty((batch, points_per_domain, 2))
+        for row in range(batch):
+            points[row] = sample_interior_uniform(domain, points_per_domain, rng)
+        return points
+
+    def full_grid_batch(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return boundaries, all grid coordinates and solutions for evaluation."""
+
+        indices = np.asarray(indices, dtype=int)
+        coords = self.grid.points()
+        x = np.broadcast_to(coords, (len(indices),) + coords.shape).copy()
+        u = self.solutions[indices].reshape(len(indices), -1)
+        return self.boundaries[indices], x, u
+
+
+class BatchIterator:
+    """Iterate over an :class:`SDNetDataset` in shuffled mini-batches.
+
+    Supports data-parallel sharding: rank ``r`` of ``world_size`` processes
+    only its slice of every global batch, so the union over ranks equals the
+    single-process batch — preserving SGD semantics when gradients are
+    averaged with an allreduce (Algorithm 1).
+    """
+
+    def __init__(
+        self,
+        dataset: SDNetDataset,
+        batch_size: int,
+        data_points_per_domain: int = 64,
+        collocation_points_per_domain: int = 64,
+        seed: int = 0,
+        rank: int = 0,
+        world_size: int = 1,
+        drop_last: bool = True,
+    ):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if not 0 <= rank < world_size:
+            raise ValueError("rank must satisfy 0 <= rank < world_size")
+        if batch_size % world_size != 0:
+            raise ValueError("batch_size must be divisible by world_size")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.data_points_per_domain = int(data_points_per_domain)
+        self.collocation_points_per_domain = int(collocation_points_per_domain)
+        self.seed = int(seed)
+        self.rank = int(rank)
+        self.world_size = int(world_size)
+        self.drop_last = bool(drop_last)
+        self.epoch = 0
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return int(np.ceil(n / self.batch_size))
+
+    def set_epoch(self, epoch: int) -> None:
+        """Set the epoch number so every rank shuffles identically."""
+
+        self.epoch = int(epoch)
+
+    def __iter__(self) -> Iterator[TrainingBatch]:
+        n = len(self.dataset)
+        shuffle_rng = np.random.default_rng((self.seed, self.epoch))
+        order = shuffle_rng.permutation(n)
+        # Point sampling must differ per rank (each rank has its own shard)
+        # but stay reproducible.
+        point_rng = np.random.default_rng((self.seed, self.epoch, self.rank))
+        num_batches = len(self)
+        local = self.batch_size // self.world_size
+        for b in range(num_batches):
+            global_indices = order[b * self.batch_size: (b + 1) * self.batch_size]
+            if len(global_indices) < self.batch_size and self.drop_last:
+                break
+            shard = global_indices[self.rank * local: (self.rank + 1) * local]
+            if len(shard) == 0:
+                continue
+            x_data, u_data = self.dataset.data_points(
+                shard, self.data_points_per_domain, point_rng
+            )
+            x_coll = self.dataset.collocation_points(
+                len(shard), self.collocation_points_per_domain, point_rng
+            )
+            yield TrainingBatch(
+                boundaries=self.dataset.boundaries[shard],
+                x_data=x_data,
+                u_data=u_data,
+                x_collocation=x_coll,
+                indices=shard,
+            )
+
+
+def generate_dataset(
+    num_samples: int,
+    resolution: int = 32,
+    extent: tuple[float, float] = (0.5, 0.5),
+    gp_config: GPBoundaryConfig | None = None,
+    seed: int = 0,
+    solver_method: str = "auto",
+) -> SDNetDataset:
+    """Generate an SDNet training dataset (GP boundaries + FD solutions).
+
+    Parameters
+    ----------
+    num_samples:
+        Number of boundary-condition / solution pairs (paper: 20,000).
+    resolution:
+        Grid points per direction of the training subdomain (paper: 32).
+    extent:
+        Physical size of the training subdomain (paper: 0.5 x 0.5).
+    gp_config:
+        Gaussian-process kernel configuration.
+    seed:
+        Seed controlling both the GP draws and the Sobol hyperparameters.
+    solver_method:
+        Method passed to the reference solver.
+    """
+
+    grid = Grid2D(resolution, resolution, extent=extent)
+    sampler = GaussianProcessSampler(
+        boundary_size=grid.boundary_size,
+        perimeter=2.0 * (extent[0] + extent[1]),
+        config=gp_config,
+        seed=seed,
+    )
+    boundaries = sampler.sample(num_samples)
+    solutions = np.empty((num_samples,) + grid.shape)
+    for i in range(num_samples):
+        solutions[i] = solve_laplace_from_loop(grid, boundaries[i], method=solver_method)
+    return SDNetDataset(
+        grid=grid,
+        boundaries=boundaries,
+        solutions=solutions,
+        metadata={"seed": seed, "resolution": resolution, "extent": extent},
+    )

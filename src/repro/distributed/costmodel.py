@@ -1,0 +1,151 @@
+"""Alpha-beta communication cost model (Section 4.3 of the paper).
+
+The paper models the per-iteration communication cost of the distributed
+Mosaic Flow predictor as
+
+    C_comm = 8 * I * alpha + I * 16 * N * d / (sqrt(P) * beta)
+
+(latency term for up to eight neighbour messages per iteration, bandwidth
+term proportional to the processor-subdomain side length).  This module
+implements the generic alpha-beta primitives used to turn recorded
+communication traces into estimated wall-clock times on the paper's
+interconnects, plus helpers for the collective algorithms (ring allreduce /
+allgather) used in training and solution assembly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .comm import CommunicationTrace
+
+__all__ = ["AlphaBetaModel", "INTERCONNECTS", "estimate_trace_time"]
+
+
+@dataclass(frozen=True)
+class AlphaBetaModel:
+    """Latency/bandwidth (alpha-beta) model of a network link.
+
+    Attributes
+    ----------
+    alpha:
+        Per-message latency in seconds (includes software overhead such as
+        the mpi4py serialization the paper calls out).
+    beta:
+        Bandwidth in bytes per second.
+    name:
+        Human-readable label.
+    """
+
+    alpha: float
+    beta: float
+    name: str = "custom"
+
+    def __post_init__(self):
+        if self.alpha < 0 or self.beta <= 0:
+            raise ValueError("alpha must be >= 0 and beta > 0")
+
+    # -- point to point -----------------------------------------------------------
+
+    def point_to_point(self, nbytes: float, messages: int = 1) -> float:
+        """Time for ``messages`` point-to-point messages totalling ``nbytes``."""
+
+        return messages * self.alpha + nbytes / self.beta
+
+    # -- collectives -----------------------------------------------------------------
+
+    def ring_allreduce(self, nbytes: float, world_size: int) -> float:
+        """Ring allreduce: ``2 (P-1)`` steps moving ``nbytes / P`` each."""
+
+        if world_size <= 1:
+            return 0.0
+        steps = 2 * (world_size - 1)
+        return steps * self.alpha + steps * (nbytes / world_size) / self.beta
+
+    def ring_allgather(self, nbytes_per_rank: float, world_size: int) -> float:
+        """Ring allgather: ``P-1`` steps each moving one rank's contribution."""
+
+        if world_size <= 1:
+            return 0.0
+        steps = world_size - 1
+        return steps * self.alpha + steps * nbytes_per_rank / self.beta
+
+    def broadcast(self, nbytes: float, world_size: int) -> float:
+        """Binomial-tree broadcast."""
+
+        if world_size <= 1:
+            return 0.0
+        import math
+
+        steps = math.ceil(math.log2(world_size))
+        return steps * (self.alpha + nbytes / self.beta)
+
+    # -- paper-specific formulas --------------------------------------------------------
+
+    def mfp_iteration_comm(
+        self, iterations: int, resolution: int, density: int, world_size: int
+    ) -> float:
+        """Section 4.3 closed form for the distributed MFP communication cost.
+
+        ``C_comm = 8 I alpha + I 16 N d / (sqrt(P) beta)`` with ``N`` the global
+        resolution per side, ``d`` the subdomain placement density and ``P``
+        the processor count.  Values are interpreted as 8-byte floats.
+        """
+
+        import math
+
+        if world_size <= 1:
+            return 0.0
+        latency = 8.0 * iterations * self.alpha
+        bandwidth_words = iterations * 16.0 * resolution * density / math.sqrt(world_size)
+        return latency + (bandwidth_words * 8.0) / self.beta
+
+
+#: Interconnects of the paper's evaluation platforms (Table 2).  ``alpha``
+#: includes an estimate of the software overhead of mpi4py serialization the
+#: paper identifies as a latency bottleneck.
+INTERCONNECTS: dict[str, AlphaBetaModel] = {
+    # 100 Gbit/s ConnectX-5 InfiniBand between nodes.
+    "infiniband-100g": AlphaBetaModel(alpha=20e-6, beta=12.5e9, name="infiniband-100g"),
+    # Intra-node PCIe 32 GB/s (V100 platform).
+    "pcie-32g": AlphaBetaModel(alpha=10e-6, beta=32e9, name="pcie-32g"),
+    # Intra-node NVLink 200 GB/s (A30 platform).
+    "nvlink-200g": AlphaBetaModel(alpha=5e-6, beta=200e9, name="nvlink-200g"),
+    # Intra-node NVLink 600 GB/s (A100 platform).
+    "nvlink-600g": AlphaBetaModel(alpha=5e-6, beta=600e9, name="nvlink-600g"),
+}
+
+
+def estimate_trace_time(
+    trace: CommunicationTrace, model: AlphaBetaModel, world_size: int
+) -> dict[str, float]:
+    """Estimate wall-clock communication time for a recorded trace.
+
+    Returns a breakdown with keys ``sendrecv``, ``allreduce``, ``allgather``
+    and ``broadcast`` (seconds), mirroring the stacked components of
+    Figure 9a.
+    """
+
+    sendrecv = model.point_to_point(trace.send_bytes + trace.recv_bytes, trace.sends + trace.receives)
+    if trace.allreduces:
+        avg = trace.allreduce_bytes / trace.allreduces
+        allreduce = trace.allreduces * model.ring_allreduce(avg, world_size)
+    else:
+        allreduce = 0.0
+    if trace.allgathers:
+        avg = trace.allgather_bytes / trace.allgathers
+        allgather = trace.allgathers * model.ring_allgather(avg, world_size)
+    else:
+        allgather = 0.0
+    if trace.broadcasts:
+        avg = trace.broadcast_bytes / max(trace.broadcasts, 1)
+        broadcast = trace.broadcasts * model.broadcast(avg, world_size)
+    else:
+        broadcast = 0.0
+    return {
+        "sendrecv": sendrecv,
+        "allreduce": allreduce,
+        "allgather": allgather,
+        "broadcast": broadcast,
+        "total": sendrecv + allreduce + allgather + broadcast,
+    }

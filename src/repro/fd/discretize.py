@@ -1,0 +1,116 @@
+"""Finite-difference discretization of the Dirichlet Poisson problem.
+
+The boundary value problem
+
+    -Laplace(u) = f   in the rectangle interior
+             u  = g   on the boundary
+
+is discretized with the standard 5-point stencil on a :class:`Grid2D`.
+Interior unknowns are ordered row-major (``index = iy*(nx-2) + ix`` over the
+interior), producing a symmetric positive-definite sparse system
+``A u = b`` where the Dirichlet data enters the right-hand side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .grid import Grid2D
+
+__all__ = ["laplacian_matrix", "poisson_rhs", "assemble_poisson", "apply_laplacian"]
+
+
+def laplacian_matrix(grid: Grid2D) -> sp.csr_matrix:
+    """Assemble the SPD matrix of ``-Laplace`` on the interior unknowns."""
+
+    nx_i, ny_i = grid.nx - 2, grid.ny - 2
+    inv_hx2 = 1.0 / grid.hx ** 2
+    inv_hy2 = 1.0 / grid.hy ** 2
+
+    # 1-D second-difference operators (negative Laplacian contributions).
+    def second_difference(n: int, inv_h2: float) -> sp.csr_matrix:
+        main = np.full(n, 2.0 * inv_h2)
+        off = np.full(n - 1, -inv_h2)
+        return sp.diags([off, main, off], offsets=[-1, 0, 1], format="csr")
+
+    Dxx = second_difference(nx_i, inv_hx2)
+    Dyy = second_difference(ny_i, inv_hy2)
+    Ix = sp.identity(nx_i, format="csr")
+    Iy = sp.identity(ny_i, format="csr")
+    # Row-major interior ordering (iy outer, ix inner) -> kron(Dyy, Ix) + kron(Iy, Dxx)
+    return (sp.kron(Dyy, Ix) + sp.kron(Iy, Dxx)).tocsr()
+
+
+def poisson_rhs(
+    grid: Grid2D,
+    forcing: np.ndarray | float = 0.0,
+    boundary_field: np.ndarray | None = None,
+) -> np.ndarray:
+    """Build the right-hand side of the discrete system.
+
+    Parameters
+    ----------
+    grid:
+        The discretization grid.
+    forcing:
+        Either a scalar or an array of shape ``grid.shape`` giving ``f`` at
+        every grid point (only interior values are used).
+    boundary_field:
+        Full field of shape ``grid.shape`` whose boundary ring holds the
+        Dirichlet data ``g`` (interior values are ignored).  ``None`` means a
+        homogeneous boundary.
+    """
+
+    nx_i, ny_i = grid.nx - 2, grid.ny - 2
+    if np.isscalar(forcing):
+        f_interior = np.full((ny_i, nx_i), float(forcing))
+    else:
+        forcing = np.asarray(forcing, dtype=float)
+        if forcing.shape != grid.shape:
+            raise ValueError("forcing array must have the full grid shape")
+        f_interior = forcing[1:-1, 1:-1].copy()
+
+    b = f_interior.copy()
+    if boundary_field is not None:
+        boundary_field = np.asarray(boundary_field, dtype=float)
+        if boundary_field.shape != grid.shape:
+            raise ValueError("boundary_field must have the full grid shape")
+        inv_hx2 = 1.0 / grid.hx ** 2
+        inv_hy2 = 1.0 / grid.hy ** 2
+        # Neighbouring Dirichlet values move to the right-hand side.
+        b[0, :] += inv_hy2 * boundary_field[0, 1:-1]      # south boundary row
+        b[-1, :] += inv_hy2 * boundary_field[-1, 1:-1]    # north boundary row
+        b[:, 0] += inv_hx2 * boundary_field[1:-1, 0]      # west boundary column
+        b[:, -1] += inv_hx2 * boundary_field[1:-1, -1]    # east boundary column
+    return b.ravel()
+
+
+def assemble_poisson(
+    grid: Grid2D,
+    forcing: np.ndarray | float = 0.0,
+    boundary_field: np.ndarray | None = None,
+) -> tuple[sp.csr_matrix, np.ndarray]:
+    """Return the sparse system ``(A, b)`` for the Dirichlet Poisson problem."""
+
+    return laplacian_matrix(grid), poisson_rhs(grid, forcing, boundary_field)
+
+
+def apply_laplacian(grid: Grid2D, field: np.ndarray) -> np.ndarray:
+    """Apply the 5-point Laplacian to a full field, returning interior values.
+
+    Useful for verifying that a solution satisfies the PDE: for a discrete
+    harmonic field the result is (close to) zero.
+    """
+
+    field = np.asarray(field, dtype=float)
+    if field.shape != grid.shape:
+        raise ValueError("field must have the full grid shape")
+    inv_hx2 = 1.0 / grid.hx ** 2
+    inv_hy2 = 1.0 / grid.hy ** 2
+    center = field[1:-1, 1:-1]
+    east = field[1:-1, 2:]
+    west = field[1:-1, :-2]
+    north = field[2:, 1:-1]
+    south = field[:-2, 1:-1]
+    return (east - 2.0 * center + west) * inv_hx2 + (north - 2.0 * center + south) * inv_hy2

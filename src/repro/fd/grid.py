@@ -1,0 +1,210 @@
+"""Structured 2-D grids and the boundary-vector convention.
+
+Everything in the reproduction that touches discretized fields — the finite
+difference ground-truth solver, the Gaussian-process data generator, SDNet's
+boundary input and the Mosaic Flow predictor — shares the conventions defined
+here:
+
+* A :class:`Grid2D` covers the rectangle ``[x0, x0+Lx] x [y0, y0+Ly]`` with
+  ``nx x ny`` points *including* the boundary; fields are stored as arrays of
+  shape ``(ny, nx)`` (row = y index, column = x index).
+* The discretized boundary function ``g_hat`` is a closed counter-clockwise
+  loop of ``2*nx + 2*ny`` samples: bottom edge (left to right), right edge
+  (bottom to top), top edge (right to left), left edge (top to bottom).
+  Corners are repeated (they belong to two edges), which matches the paper's
+  "4N" convention for an ``N x N`` subdomain and keeps the loop structure the
+  convolutional boundary embedding exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Grid2D", "boundary_loop_indices"]
+
+
+def boundary_loop_indices(nx: int, ny: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return (row, col) index arrays tracing the boundary loop.
+
+    The loop has ``2*nx + 2*ny`` entries ordered bottom, right, top, left,
+    with corners duplicated between consecutive edges.
+    """
+
+    if nx < 2 or ny < 2:
+        raise ValueError("grids need at least 2 points per side")
+    bottom_c = np.arange(nx)
+    bottom_r = np.zeros(nx, dtype=int)
+    right_r = np.arange(ny)
+    right_c = np.full(ny, nx - 1, dtype=int)
+    top_c = np.arange(nx)[::-1]
+    top_r = np.full(nx, ny - 1, dtype=int)
+    left_r = np.arange(ny)[::-1]
+    left_c = np.zeros(ny, dtype=int)
+    rows = np.concatenate([bottom_r, right_r, top_r, left_r])
+    cols = np.concatenate([bottom_c, right_c, top_c, left_c])
+    return rows, cols
+
+
+@dataclass(frozen=True)
+class Grid2D:
+    """A uniform structured grid on an axis-aligned rectangle.
+
+    Parameters
+    ----------
+    nx, ny:
+        Number of grid points (including boundary points) per direction.
+    extent:
+        Physical size ``(Lx, Ly)`` of the rectangle.
+    origin:
+        Coordinates of the lower-left corner.
+    """
+
+    nx: int
+    ny: int
+    extent: tuple[float, float] = (1.0, 1.0)
+    origin: tuple[float, float] = (0.0, 0.0)
+
+    def __post_init__(self):
+        if self.nx < 3 or self.ny < 3:
+            raise ValueError("Grid2D requires at least 3 points per direction")
+        if self.extent[0] <= 0 or self.extent[1] <= 0:
+            raise ValueError("extent components must be positive")
+
+    # -- geometry ---------------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Field array shape ``(ny, nx)``."""
+
+        return (self.ny, self.nx)
+
+    @property
+    def hx(self) -> float:
+        return self.extent[0] / (self.nx - 1)
+
+    @property
+    def hy(self) -> float:
+        return self.extent[1] / (self.ny - 1)
+
+    @property
+    def num_points(self) -> int:
+        return self.nx * self.ny
+
+    @property
+    def num_interior(self) -> int:
+        return (self.nx - 2) * (self.ny - 2)
+
+    @property
+    def boundary_size(self) -> int:
+        """Length of the boundary loop vector (``2*nx + 2*ny``)."""
+
+        return 2 * self.nx + 2 * self.ny
+
+    def x_coords(self) -> np.ndarray:
+        return self.origin[0] + np.arange(self.nx) * self.hx
+
+    def y_coords(self) -> np.ndarray:
+        return self.origin[1] + np.arange(self.ny) * self.hy
+
+    def meshgrid(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(X, Y)`` arrays of shape ``(ny, nx)``."""
+
+        return np.meshgrid(self.x_coords(), self.y_coords(), indexing="xy")
+
+    def points(self) -> np.ndarray:
+        """All grid point coordinates as an ``(ny*nx, 2)`` array (row-major)."""
+
+        X, Y = self.meshgrid()
+        return np.stack([X.ravel(), Y.ravel()], axis=1)
+
+    def interior_points(self) -> np.ndarray:
+        """Interior point coordinates, shape ``(num_interior, 2)``."""
+
+        X, Y = self.meshgrid()
+        return np.stack(
+            [X[1:-1, 1:-1].ravel(), Y[1:-1, 1:-1].ravel()], axis=1
+        )
+
+    # -- boundary handling -------------------------------------------------------
+
+    def boundary_indices(self) -> tuple[np.ndarray, np.ndarray]:
+        return boundary_loop_indices(self.nx, self.ny)
+
+    def boundary_coordinates(self) -> np.ndarray:
+        """Coordinates of the boundary loop samples, shape ``(boundary_size, 2)``."""
+
+        rows, cols = self.boundary_indices()
+        X, Y = self.meshgrid()
+        return np.stack([X[rows, cols], Y[rows, cols]], axis=1)
+
+    def extract_boundary(self, field: np.ndarray) -> np.ndarray:
+        """Extract the boundary loop vector from a full field."""
+
+        field = np.asarray(field)
+        if field.shape != self.shape:
+            raise ValueError(f"field shape {field.shape} does not match grid {self.shape}")
+        rows, cols = self.boundary_indices()
+        return field[rows, cols].copy()
+
+    def insert_boundary(self, boundary: np.ndarray, field: np.ndarray | None = None) -> np.ndarray:
+        """Write a boundary loop vector into a (new or existing) field.
+
+        Corner samples appear twice in the loop; the last write wins, which is
+        harmless because consistent boundary data carries identical values.
+        """
+
+        boundary = np.asarray(boundary, dtype=float)
+        if boundary.shape != (self.boundary_size,):
+            raise ValueError(
+                f"boundary vector must have length {self.boundary_size}, got {boundary.shape}"
+            )
+        if field is None:
+            field = np.zeros(self.shape)
+        else:
+            field = np.array(field, dtype=float, copy=True)
+        rows, cols = self.boundary_indices()
+        field[rows, cols] = boundary
+        return field
+
+    def boundary_mask(self) -> np.ndarray:
+        """Boolean mask of boundary points, shape ``(ny, nx)``."""
+
+        mask = np.zeros(self.shape, dtype=bool)
+        mask[0, :] = mask[-1, :] = True
+        mask[:, 0] = mask[:, -1] = True
+        return mask
+
+    def boundary_from_function(self, fn) -> np.ndarray:
+        """Sample ``fn(x, y)`` along the boundary loop."""
+
+        coords = self.boundary_coordinates()
+        return np.asarray(fn(coords[:, 0], coords[:, 1]), dtype=float)
+
+    def field_from_function(self, fn) -> np.ndarray:
+        """Sample ``fn(x, y)`` on the full grid."""
+
+        X, Y = self.meshgrid()
+        return np.asarray(fn(X, Y), dtype=float)
+
+    # -- sub-grids ----------------------------------------------------------------
+
+    def subgrid(self, row0: int, col0: int, ny: int, nx: int) -> "Grid2D":
+        """Return the grid covering the window starting at ``(row0, col0)``.
+
+        The window shares grid points with the parent (same spacing); used by
+        the Mosaic Flow predictor to form atomic subdomains.
+        """
+
+        if row0 < 0 or col0 < 0 or row0 + ny > self.ny or col0 + nx > self.nx:
+            raise ValueError("subgrid window out of range")
+        return Grid2D(
+            nx=nx,
+            ny=ny,
+            extent=((nx - 1) * self.hx, (ny - 1) * self.hy),
+            origin=(
+                self.origin[0] + col0 * self.hx,
+                self.origin[1] + row0 * self.hy,
+            ),
+        )

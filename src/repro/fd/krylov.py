@@ -1,0 +1,67 @@
+"""Krylov solvers (conjugate gradients, optionally multigrid-preconditioned)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["conjugate_gradient"]
+
+
+def conjugate_gradient(
+    A: sp.spmatrix,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-10,
+    max_iterations: int | None = None,
+    preconditioner: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> tuple[np.ndarray, dict]:
+    """Preconditioned conjugate gradient for SPD systems.
+
+    Parameters
+    ----------
+    A, b, x0:
+        System matrix, right-hand side and optional initial guess.
+    tol:
+        Relative residual stopping tolerance.
+    max_iterations:
+        Defaults to ``10 * n``.
+    preconditioner:
+        Callable applying ``M^{-1}`` to a vector (e.g. one multigrid V-cycle).
+
+    Returns
+    -------
+    ``(x, info)`` with ``info = {"iterations", "residual", "converged"}``.
+    """
+
+    n = b.shape[0]
+    max_iterations = max_iterations if max_iterations is not None else 10 * n
+    x = np.zeros_like(b) if x0 is None else np.asarray(x0, dtype=float).copy()
+    r = b - A @ x
+    b_norm = np.linalg.norm(b)
+    if b_norm == 0.0:
+        return np.zeros_like(b), {"iterations": 0, "residual": 0.0, "converged": True}
+
+    z = preconditioner(r) if preconditioner is not None else r
+    p = z.copy()
+    rz = float(r @ z)
+    for iteration in range(1, max_iterations + 1):
+        Ap = A @ p
+        denom = float(p @ Ap)
+        if denom <= 0.0:
+            break
+        alpha = rz / denom
+        x += alpha * p
+        r -= alpha * Ap
+        rel = float(np.linalg.norm(r) / b_norm)
+        if rel < tol:
+            return x, {"iterations": iteration, "residual": rel, "converged": True}
+        z = preconditioner(r) if preconditioner is not None else r
+        rz_new = float(r @ z)
+        beta = rz_new / rz
+        rz = rz_new
+        p = z + beta * p
+    rel = float(np.linalg.norm(b - A @ x) / b_norm)
+    return x, {"iterations": max_iterations, "residual": rel, "converged": rel < tol}

@@ -1,0 +1,74 @@
+"""Stationary iterative smoothers for the multigrid hierarchy."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import spsolve_triangular
+
+__all__ = ["weighted_jacobi", "gauss_seidel", "sor", "get_smoother"]
+
+
+def weighted_jacobi(
+    A: sp.spmatrix, b: np.ndarray, x: np.ndarray, iterations: int = 1, omega: float = 2.0 / 3.0
+) -> np.ndarray:
+    """Weighted Jacobi sweeps: ``x <- x + omega * D^{-1} (b - A x)``."""
+
+    diag = A.diagonal()
+    if np.any(diag == 0):
+        raise ValueError("Jacobi smoother requires a nonzero diagonal")
+    inv_diag = 1.0 / diag
+    for _ in range(iterations):
+        residual = b - A @ x
+        x = x + omega * inv_diag * residual
+    return x
+
+
+def _lower_triangle(A: sp.spmatrix) -> sp.csr_matrix:
+    return sp.tril(A, k=0, format="csr")
+
+
+def gauss_seidel(
+    A: sp.spmatrix, b: np.ndarray, x: np.ndarray, iterations: int = 1
+) -> np.ndarray:
+    """Forward Gauss-Seidel sweeps using a sparse triangular solve."""
+
+    lower = _lower_triangle(A)
+    for _ in range(iterations):
+        residual = b - A @ x
+        x = x + spsolve_triangular(lower, residual, lower=True)
+    return x
+
+
+def sor(
+    A: sp.spmatrix, b: np.ndarray, x: np.ndarray, iterations: int = 1, omega: float = 1.5
+) -> np.ndarray:
+    """Successive over-relaxation sweeps (``omega=1`` reduces to Gauss-Seidel)."""
+
+    if not 0.0 < omega < 2.0:
+        raise ValueError("SOR requires 0 < omega < 2 for convergence")
+    diag = sp.diags(A.diagonal())
+    lower_strict = sp.tril(A, k=-1, format="csr")
+    M = (diag / omega + lower_strict).tocsr()
+    for _ in range(iterations):
+        residual = b - A @ x
+        x = x + spsolve_triangular(M, residual, lower=True)
+    return x
+
+
+_SMOOTHERS = {
+    "jacobi": weighted_jacobi,
+    "gauss_seidel": gauss_seidel,
+    "sor": sor,
+}
+
+
+def get_smoother(name: str):
+    """Look up a smoother by name (``jacobi``, ``gauss_seidel``, ``sor``)."""
+
+    try:
+        return _SMOOTHERS[name.lower()]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown smoother '{name}'; available: {sorted(_SMOOTHERS)}"
+        ) from exc

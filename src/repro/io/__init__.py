@@ -1,0 +1,5 @@
+"""Checkpoint I/O for the pre-trained SDNet library."""
+
+from .checkpoint import load_model, load_sdnet, load_state, save_checkpoint
+
+__all__ = ["save_checkpoint", "load_state", "load_model", "load_sdnet"]

@@ -1,0 +1,17 @@
+"""Neural PDE solver models: SDNet and its input-concat baseline."""
+
+from .base import NeuralSolver, normalize_inputs
+from .baseline import ConcatSolver
+from .embedding import ConvBoundaryEmbedding, IdentityBoundaryEmbedding
+from .sdnet import SDNet
+from .split import SplitLayer
+
+__all__ = [
+    "NeuralSolver",
+    "normalize_inputs",
+    "SDNet",
+    "ConcatSolver",
+    "SplitLayer",
+    "ConvBoundaryEmbedding",
+    "IdentityBoundaryEmbedding",
+]

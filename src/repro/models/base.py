@@ -1,0 +1,119 @@
+"""Common interface for neural PDE solvers.
+
+Both the optimized :class:`~repro.models.sdnet.SDNet` and the input-concat
+baseline implement this interface, so the training loops, the physics loss and
+the Mosaic Flow predictor can use either interchangeably.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import grad, ops
+from ..autodiff.tensor import Tensor, astensor
+from ..nn import Module
+
+__all__ = ["NeuralSolver", "normalize_inputs"]
+
+
+def normalize_inputs(g, x) -> tuple[Tensor, Tensor, bool]:
+    """Bring (boundary, coordinates) inputs to batched canonical form.
+
+    Returns ``(g, x, was_batched)`` where ``g`` has shape
+    ``(batch, boundary_size)`` and ``x`` has shape ``(batch, q, coord_dim)``.
+    A single un-batched instance (``g``: 1-D, ``x``: 2-D) is promoted to a
+    batch of one and ``was_batched`` is ``False`` so the caller can squeeze
+    the result back.
+    """
+
+    g = astensor(g)
+    x = astensor(x)
+    # The boundary batch defines whether the call is batched: a 1-D boundary
+    # means "one BVP instance" and the result is squeezed back by the caller.
+    batched = g.ndim == 2
+    if g.ndim == 1:
+        g = ops.reshape(g, (1, -1))
+    if x.ndim == 2:
+        x = ops.reshape(x, (1,) + x.shape)
+    if g.ndim != 2 or x.ndim != 3:
+        raise ValueError(
+            f"expected g of shape (batch, boundary) and x of shape (batch, q, dim); "
+            f"got {g.shape} and {x.shape}"
+        )
+    if g.shape[0] != x.shape[0]:
+        if g.shape[0] == 1:
+            g = ops.broadcast_to(g, (x.shape[0], g.shape[1]))
+        elif x.shape[0] == 1:
+            x = ops.broadcast_to(x, (g.shape[0],) + x.shape[1:])
+        else:
+            raise ValueError(
+                f"batch mismatch between g ({g.shape[0]}) and x ({x.shape[0]})"
+            )
+    return g, x, batched
+
+
+class NeuralSolver(Module):
+    """Abstract neural PDE solver ``N(x, g_hat; theta) ~ u(x; g)``.
+
+    Sub-classes must implement :meth:`forward`; :meth:`laplacian_autograd`
+    works for any of them through nested reverse-mode differentiation, and
+    sub-classes may override :meth:`laplacian` with a faster scheme (SDNet
+    uses forward Taylor-mode).
+    """
+
+    #: number of samples in the discretized boundary function
+    boundary_size: int
+    #: spatial dimensionality of the query coordinates
+    coord_dim: int = 2
+
+    def forward(self, g, x) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def predict(self, g, x) -> np.ndarray:
+        """Inference convenience: forward pass without building a graph."""
+
+        from ..autodiff import no_grad
+
+        with no_grad():
+            out = self.forward(g, x)
+        return out.data
+
+    # -- second derivatives ------------------------------------------------------
+
+    def laplacian_autograd(self, g, x, create_graph: bool = True) -> Tensor:
+        """Laplacian of the network output w.r.t. the query coordinates.
+
+        This is the "three backward passes" scheme described in Section 5.2
+        of the paper: one reverse sweep per first derivative direction plus
+        the parameter sweep taken later by the training loop.
+
+        Parameters
+        ----------
+        g, x:
+            Boundary conditions and coordinates (batched or single instance).
+        create_graph:
+            Keep the graph so the result can be differentiated with respect
+            to the parameters (required during training).
+        """
+
+        g, x, batched = normalize_inputs(g, x)
+        x_var = Tensor(x.data, requires_grad=True)
+        u = self.forward(g, x_var)
+        (du,) = grad(ops.sum(u), [x_var], create_graph=True)
+        lap_terms = []
+        for dim in range(self.coord_dim):
+            (d2,) = grad(
+                ops.sum(du[..., dim]), [x_var], create_graph=create_graph
+            )
+            lap_terms.append(d2[..., dim])
+        lap = lap_terms[0]
+        for term in lap_terms[1:]:
+            lap = lap + term
+        if not batched:
+            lap = ops.reshape(lap, lap.shape[1:])
+        return lap
+
+    def laplacian(self, g, x, create_graph: bool = True) -> Tensor:
+        """Default Laplacian implementation (nested reverse mode)."""
+
+        return self.laplacian_autograd(g, x, create_graph=create_graph)

@@ -1,0 +1,66 @@
+"""Input-concat baseline neural PDE solver.
+
+This is the "standard" physics-informed neural solver the paper compares the
+split-layer optimization against (eq. 5-6): the discretized boundary function
+is replicated for every query point and concatenated with the coordinates,
+producing a ``q x (4N + 2)`` input matrix.  It computes exactly the same
+function family as :class:`~repro.models.sdnet.SDNet` without the embedding,
+but pays ``O(q N d)`` compute and ``q (4N + 2)`` words of input memory per
+batch — the source of the out-of-memory behaviour at large batch sizes in
+Figure 5 and Table 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import ops
+from ..autodiff.tensor import Tensor
+from ..nn import MLP
+from .base import NeuralSolver, normalize_inputs
+
+__all__ = ["ConcatSolver"]
+
+
+class ConcatSolver(NeuralSolver):
+    """Baseline neural solver using the input-concat embedding.
+
+    Parameters mirror :class:`~repro.models.sdnet.SDNet` where applicable.
+    """
+
+    def __init__(
+        self,
+        boundary_size: int,
+        coord_dim: int = 2,
+        hidden_size: int = 64,
+        trunk_layers: int = 4,
+        activation: str = "gelu",
+        rng: np.random.Generator | int | None = None,
+    ):
+        super().__init__()
+        if isinstance(rng, (int, np.integer)) or rng is None:
+            rng = np.random.default_rng(rng)
+        self.boundary_size = int(boundary_size)
+        self.coord_dim = int(coord_dim)
+        self.hidden_size = int(hidden_size)
+        sizes = [boundary_size + coord_dim] + [hidden_size] * (trunk_layers + 1) + [1]
+        self.net = MLP(sizes, activation=activation, rng=rng)
+
+    def forward(self, g, x) -> Tensor:
+        g, x, batched = normalize_inputs(g, x)
+        batch, q, dim = x.shape
+        # Replicate the boundary for every query point (the inefficiency the
+        # split layer removes) and concatenate along the feature axis.
+        g_expanded = ops.reshape(g, (batch, 1, self.boundary_size))
+        g_expanded = ops.broadcast_to(g_expanded, (batch, q, self.boundary_size))
+        inputs = ops.concatenate([g_expanded, x], axis=2)
+        out = self.net(inputs)
+        out = ops.reshape(out, (batch, q))
+        if not batched:
+            out = ops.reshape(out, (q,))
+        return out
+
+    def input_words(self, q: int) -> int:
+        """Words of input memory for a batch of ``q`` points (eq. 5 analysis)."""
+
+        return q * (self.boundary_size + self.coord_dim)

@@ -1,0 +1,117 @@
+"""Split-layer input embedding (the paper's optimized first layer).
+
+The standard ("input-concat") physics-informed neural solver concatenates the
+discretized boundary condition with the query coordinates, replicating the
+boundary for every point in the batch (eq. 5-6 of the paper).  The split
+layer (eq. 7-8) instead splits the first weight matrix into a boundary block
+``W1`` and a coordinate block ``W2`` and computes
+
+    U = phi( g_hat @ W1^T  (+)  X @ W2^T )
+
+where ``(+)`` broadcasts the single boundary projection over the point batch.
+This removes the replicated boundary from the input tensor, reducing the
+first-layer cost from ``O(q N d)`` to ``O(N d + q d)`` and the input memory
+from ``q (4N + 2)`` to ``4N + 2q`` words — the key enabler for large batched
+inference in the Mosaic Flow predictor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import ops
+from ..autodiff.taylor import TaylorTriple, taylor_constant
+from ..autodiff.tensor import Tensor
+from ..nn import Linear, Module, get_activation
+
+__all__ = ["SplitLayer"]
+
+
+class SplitLayer(Module):
+    """First layer of SDNet with the input-split optimization.
+
+    Parameters
+    ----------
+    boundary_features:
+        Size of the (embedded) boundary vector, i.e. columns of ``W1``.
+    coord_features:
+        Spatial dimensionality (2 for the 2-D Laplace problem).
+    out_features:
+        Width ``d`` of the produced representation.
+    activation:
+        Nonlinearity ``phi`` applied to the broadcast sum.
+    """
+
+    def __init__(
+        self,
+        boundary_features: int,
+        coord_features: int,
+        out_features: int,
+        activation: str = "gelu",
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.boundary_features = int(boundary_features)
+        self.coord_features = int(coord_features)
+        self.out_features = int(out_features)
+        self.activation = get_activation(activation)
+        # W1: boundary block (carries the bias), W2: coordinate block.
+        self.boundary_proj = Linear(boundary_features, out_features, bias=True, rng=rng)
+        self.coord_proj = Linear(coord_features, out_features, bias=False, rng=rng)
+
+    # -- standard forward ------------------------------------------------------
+
+    def forward(self, g_embed: Tensor, x: Tensor) -> Tensor:
+        """Compute ``phi(g W1^T (+) X W2^T)``.
+
+        Parameters
+        ----------
+        g_embed:
+            ``(batch, boundary_features)`` embedded boundary conditions.
+        x:
+            ``(batch, q, coord_features)`` query coordinates.
+
+        Returns
+        -------
+        ``(batch, q, out_features)`` representation.
+        """
+
+        if g_embed.ndim != 2 or x.ndim != 3:
+            raise ValueError(
+                "SplitLayer expects g_embed of shape (batch, features) and "
+                f"x of shape (batch, q, coords); got {g_embed.shape} and {x.shape}"
+            )
+        g_proj = self.boundary_proj(g_embed)  # (batch, d) — computed once
+        g_proj = ops.reshape(g_proj, (g_proj.shape[0], 1, self.out_features))
+        x_proj = self.coord_proj(x)  # (batch, q, d)
+        return self.activation(g_proj + x_proj)
+
+    # -- Taylor-mode forward -----------------------------------------------------
+
+    def taylor_forward(self, g_embed: Tensor, x_triple: TaylorTriple) -> TaylorTriple:
+        """Propagate second-order coordinate derivatives through the layer.
+
+        The boundary projection does not depend on the coordinates, so it
+        enters as a constant; the coordinate projection is linear.
+        """
+
+        g_proj = self.boundary_proj(g_embed)
+        g_proj = ops.reshape(g_proj, (g_proj.shape[0], 1, self.out_features))
+        x_proj = x_triple.matmul(ops.transpose(self.coord_proj.weight))
+        pre = x_proj + taylor_constant(g_proj)
+        act = self.activation
+        return pre.apply_activation(act.forward, act.derivative, act.second_derivative)
+
+    # -- equivalence helper --------------------------------------------------------
+
+    def as_concat_weight(self) -> np.ndarray:
+        """Return the equivalent full first-layer weight ``[W1 | W2]``.
+
+        Used by tests to verify that the split layer computes exactly the same
+        function as the input-concat formulation (eq. 6 vs eq. 8).
+        """
+
+        return np.concatenate(
+            [self.boundary_proj.weight.data, self.coord_proj.weight.data], axis=1
+        )

@@ -1,0 +1,118 @@
+"""Final dense assembly of the Mosaic Flow solution.
+
+After the interface-lattice iteration converges, every atomic subdomain's
+interior is predicted densely from its final boundary values and the
+overlapping predictions are averaged (Algorithm 2, lines 10-12).  The same
+routine serves the sequential, batched and distributed predictors — the
+distributed variant simply runs it on each rank's local anchors and merges
+the per-rank accumulators after the allgather.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .geometry import MosaicGeometry
+from .solvers import SubdomainSolver
+
+__all__ = ["accumulate_dense_predictions", "overlap_average", "assemble_solution"]
+
+
+def accumulate_dense_predictions(
+    field: np.ndarray,
+    geometry: MosaicGeometry,
+    solver: SubdomainSolver,
+    anchors: list[tuple[int, int]],
+    accumulator: np.ndarray | None = None,
+    counts: np.ndarray | None = None,
+    batch_size: int = 256,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Predict every subdomain interior and accumulate into sum/count arrays.
+
+    Parameters
+    ----------
+    field:
+        Current global (or rank-local) field holding the converged lattice
+        values; must cover all ``anchors`` windows.
+    geometry:
+        Mosaic geometry describing subdomain layout.
+    solver:
+        Subdomain solver used for the dense predictions.
+    anchors:
+        Anchors (in lattice units, relative to ``field``'s origin) to process.
+    accumulator, counts:
+        Optional pre-existing accumulators matching ``field``'s shape.
+    batch_size:
+        Number of subdomains predicted per solver call.
+
+    Returns
+    -------
+    ``(accumulator, counts)`` where ``accumulator[i, j]`` is the sum of all
+    predictions at that grid point and ``counts[i, j]`` how many subdomains
+    contributed.
+    """
+
+    if accumulator is None:
+        accumulator = np.zeros_like(field)
+    if counts is None:
+        counts = np.zeros(field.shape)
+    if not anchors:
+        return accumulator, counts
+
+    brow, bcol = geometry.boundary_loop_local_indices()
+    irow, icol = geometry.interior_local_indices()
+    interior_coords = geometry.interior_local_coordinates()
+    anchor_array = np.asarray(anchors, dtype=int)
+    windows_r = anchor_array[:, 0] * geometry.half
+    windows_c = anchor_array[:, 1] * geometry.half
+
+    for start in range(0, len(anchors), batch_size):
+        stop = min(start + batch_size, len(anchors))
+        r0 = windows_r[start:stop]
+        c0 = windows_c[start:stop]
+        loops = field[r0[:, None] + brow[None, :], c0[:, None] + bcol[None, :]]
+        predictions = solver.predict(loops, interior_coords)
+        rows = r0[:, None] + irow[None, :]
+        cols = c0[:, None] + icol[None, :]
+        np.add.at(accumulator, (rows, cols), predictions)
+        np.add.at(counts, (rows, cols), 1.0)
+        # Boundary-loop values of each subdomain also contribute (they are
+        # part of the subdomain solution and exact on the lattice).
+        rows_b = r0[:, None] + brow[None, :]
+        cols_b = c0[:, None] + bcol[None, :]
+        np.add.at(accumulator, (rows_b, cols_b), loops)
+        np.add.at(counts, (rows_b, cols_b), 1.0)
+    return accumulator, counts
+
+
+def overlap_average(accumulator: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Average accumulated predictions where subdomains overlap."""
+
+    result = np.zeros_like(accumulator)
+    mask = counts > 0
+    result[mask] = accumulator[mask] / counts[mask]
+    return result
+
+
+def assemble_solution(
+    field: np.ndarray,
+    geometry: MosaicGeometry,
+    solver: SubdomainSolver,
+    boundary_loop: np.ndarray | None = None,
+    batch_size: int = 256,
+) -> np.ndarray:
+    """Dense solution on the global grid from converged lattice values.
+
+    Convenience wrapper used by the single-process predictors: predicts every
+    subdomain, averages overlaps and restores the exact global Dirichlet data
+    if ``boundary_loop`` is given.
+    """
+
+    accumulator, counts = accumulate_dense_predictions(
+        field, geometry, solver, geometry.anchors(), batch_size=batch_size
+    )
+    solution = overlap_average(accumulator, counts)
+    grid = geometry.global_grid()
+    if boundary_loop is not None:
+        solution = grid.insert_boundary(np.asarray(boundary_loop, dtype=float), solution)
+    return solution

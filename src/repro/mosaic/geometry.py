@@ -1,0 +1,250 @@
+"""Geometry of the Mosaic Flow interface lattice.
+
+The Mosaic Flow predictor keeps the PDE solution only on the *interface
+lattice*: the grid lines spaced half a subdomain apart (the paper's
+``1/(2m)`` spacing with ``d = 2``).  Atomic subdomains are anchored at every
+lattice node; a subdomain anchored at lattice node ``(r, c)`` spans two
+lattice cells per direction, so neighbouring anchors overlap by half a
+subdomain.
+
+Within one iteration only one *phase* of anchors is processed — the subset
+whose anchor parities match the phase offset — which makes the subdomains of
+an iteration non-overlapping (Figure 2).  A phase's subdomains read their
+boundary edges from lattice lines of one parity and write their centre lines
+to lattice lines of the other parity, which is why batching them (Section
+4.1) is exactly equivalent to processing them sequentially.
+
+All index arithmetic for anchors, phases, subdomain windows, boundary loops
+and centre lines lives here so the sequential, batched and distributed
+predictors share a single geometric truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..fd.grid import Grid2D
+
+__all__ = ["MosaicGeometry", "PHASE_OFFSETS"]
+
+#: Iteration phases: parity offsets (row, col) of the anchors processed in
+#: that phase.  Cycling through all four covers every anchor.
+PHASE_OFFSETS: tuple[tuple[int, int], ...] = ((0, 0), (1, 1), (0, 1), (1, 0))
+
+
+@dataclass(frozen=True)
+class MosaicGeometry:
+    """Discrete geometry shared by all Mosaic Flow predictor variants.
+
+    Parameters
+    ----------
+    subdomain_points:
+        Grid points per side of an atomic subdomain (must be odd so the
+        subdomain has an exact centre line).  The paper's 32x32-cell
+        subdomain corresponds to 33 grid points per side.
+    subdomain_extent:
+        Physical side length of an atomic subdomain (paper: 0.5).
+    steps_x, steps_y:
+        Number of half-subdomain steps the global domain spans per axis.
+        The global domain therefore measures
+        ``steps_x * subdomain_extent / 2`` by ``steps_y * subdomain_extent / 2``
+        and has ``steps_* * (subdomain_points - 1) / 2 + 1`` grid points per
+        side.  Both must be at least 2 (one full subdomain).
+    """
+
+    subdomain_points: int
+    subdomain_extent: float
+    steps_x: int
+    steps_y: int
+
+    def __post_init__(self):
+        if self.subdomain_points < 5 or self.subdomain_points % 2 == 0:
+            raise ValueError("subdomain_points must be odd and at least 5")
+        if self.steps_x < 2 or self.steps_y < 2:
+            raise ValueError("the domain must span at least one full subdomain per axis")
+        if self.subdomain_extent <= 0:
+            raise ValueError("subdomain_extent must be positive")
+
+    # -- derived sizes -------------------------------------------------------------
+
+    @property
+    def half(self) -> int:
+        """Grid points per half-subdomain step (lattice spacing in grid units)."""
+
+        return (self.subdomain_points - 1) // 2
+
+    @property
+    def spacing(self) -> float:
+        """Physical grid spacing."""
+
+        return self.subdomain_extent / (self.subdomain_points - 1)
+
+    @property
+    def global_nx(self) -> int:
+        return self.steps_x * self.half + 1
+
+    @property
+    def global_ny(self) -> int:
+        return self.steps_y * self.half + 1
+
+    @property
+    def global_extent(self) -> tuple[float, float]:
+        return (
+            self.steps_x * self.subdomain_extent / 2.0,
+            self.steps_y * self.subdomain_extent / 2.0,
+        )
+
+    @property
+    def anchor_rows(self) -> int:
+        """Number of anchor rows (subdomains per column)."""
+
+        return self.steps_y - 1
+
+    @property
+    def anchor_cols(self) -> int:
+        return self.steps_x - 1
+
+    @property
+    def num_subdomains(self) -> int:
+        return self.anchor_rows * self.anchor_cols
+
+    # -- grids ------------------------------------------------------------------------
+
+    def global_grid(self, origin: tuple[float, float] = (0.0, 0.0)) -> Grid2D:
+        """The full global grid."""
+
+        return Grid2D(
+            nx=self.global_nx,
+            ny=self.global_ny,
+            extent=self.global_extent,
+            origin=origin,
+        )
+
+    def subdomain_grid(self) -> Grid2D:
+        """The local grid of one atomic subdomain (origin at its corner)."""
+
+        return Grid2D(
+            nx=self.subdomain_points,
+            ny=self.subdomain_points,
+            extent=(self.subdomain_extent, self.subdomain_extent),
+        )
+
+    # -- anchors and phases ---------------------------------------------------------------
+
+    def anchors(self) -> list[tuple[int, int]]:
+        """All anchor positions ``(row, col)`` in lattice units."""
+
+        return [
+            (r, c) for r in range(self.anchor_rows) for c in range(self.anchor_cols)
+        ]
+
+    def anchors_for_phase(self, phase: int) -> list[tuple[int, int]]:
+        """Anchors processed in iteration phase ``phase`` (0..3)."""
+
+        dr, dc = PHASE_OFFSETS[phase % len(PHASE_OFFSETS)]
+        return [
+            (r, c)
+            for r in range(dr, self.anchor_rows, 2)
+            for c in range(dc, self.anchor_cols, 2)
+        ]
+
+    def anchor_window(self, anchor: tuple[int, int]) -> tuple[int, int]:
+        """Global grid index of the subdomain's lower-left corner ``(row0, col0)``."""
+
+        r, c = anchor
+        if not (0 <= r < self.anchor_rows and 0 <= c < self.anchor_cols):
+            raise ValueError(f"anchor {anchor} out of range")
+        return r * self.half, c * self.half
+
+    # -- index helpers (local, shared by all anchors) ----------------------------------------
+
+    def boundary_loop_local_indices(self) -> tuple[np.ndarray, np.ndarray]:
+        """(row, col) local indices of the subdomain boundary loop."""
+
+        return self.subdomain_grid().boundary_indices()
+
+    def center_line_local_indices(self) -> tuple[np.ndarray, np.ndarray]:
+        """(row, col) local indices of the two centre lines, endpoints excluded.
+
+        The centre lines are the horizontal and vertical lines through the
+        subdomain centre.  Endpoints lie on the subdomain's own boundary and
+        are never overwritten; the centre point appears once.
+        """
+
+        m, h = self.subdomain_points, self.half
+        interior = np.arange(1, m - 1)
+        # horizontal centre line (row = half), all interior columns
+        rows_h = np.full(m - 2, h)
+        cols_h = interior
+        # vertical centre line (col = half), interior rows excluding the centre
+        rows_v = interior[interior != h]
+        cols_v = np.full(m - 3, h)
+        return np.concatenate([rows_h, rows_v]), np.concatenate([cols_h, cols_v])
+
+    def center_line_local_coordinates(self) -> np.ndarray:
+        """Physical local coordinates of the centre-line points, shape ``(q, 2)``."""
+
+        rows, cols = self.center_line_local_indices()
+        return np.stack([cols * self.spacing, rows * self.spacing], axis=1)
+
+    def interior_local_indices(self) -> tuple[np.ndarray, np.ndarray]:
+        """(row, col) local indices of all interior subdomain points."""
+
+        m = self.subdomain_points
+        rows, cols = np.meshgrid(np.arange(1, m - 1), np.arange(1, m - 1), indexing="ij")
+        return rows.ravel(), cols.ravel()
+
+    def interior_local_coordinates(self) -> np.ndarray:
+        rows, cols = self.interior_local_indices()
+        return np.stack([cols * self.spacing, rows * self.spacing], axis=1)
+
+    # -- lattice masks --------------------------------------------------------------------------
+
+    def lattice_mask(self) -> np.ndarray:
+        """Boolean mask of global grid points lying on interface lattice lines."""
+
+        mask = np.zeros((self.global_ny, self.global_nx), dtype=bool)
+        mask[:: self.half, :] = True
+        mask[:, :: self.half] = True
+        return mask
+
+    # -- construction helpers ----------------------------------------------------------------------
+
+    @classmethod
+    def from_domain_size(
+        cls,
+        domain_size: tuple[float, float],
+        subdomain_points: int = 33,
+        subdomain_extent: float = 0.5,
+    ) -> "MosaicGeometry":
+        """Build a geometry covering ``domain_size`` (must be a multiple of half the subdomain)."""
+
+        half_extent = subdomain_extent / 2.0
+        steps_x = round(domain_size[0] / half_extent)
+        steps_y = round(domain_size[1] / half_extent)
+        if abs(steps_x * half_extent - domain_size[0]) > 1e-9 or abs(
+            steps_y * half_extent - domain_size[1]
+        ) > 1e-9:
+            raise ValueError(
+                "domain_size must be an integer multiple of half the subdomain extent"
+            )
+        return cls(
+            subdomain_points=subdomain_points,
+            subdomain_extent=subdomain_extent,
+            steps_x=steps_x,
+            steps_y=steps_y,
+        )
+
+    def scaled(self, factor: int) -> "MosaicGeometry":
+        """A geometry ``factor`` times larger per side (same subdomain)."""
+
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        return MosaicGeometry(
+            subdomain_points=self.subdomain_points,
+            subdomain_extent=self.subdomain_extent,
+            steps_x=self.steps_x * factor,
+            steps_y=self.steps_y * factor,
+        )

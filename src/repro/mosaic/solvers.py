@@ -1,0 +1,150 @@
+"""Subdomain solvers used inside the Mosaic Flow predictor.
+
+The predictor only requires a component that, given the Dirichlet data on an
+atomic subdomain's boundary, predicts the solution at requested interior
+points.  Two implementations are provided:
+
+* :class:`SDNetSubdomainSolver` — wraps a trained
+  :class:`~repro.models.sdnet.SDNet` (or the concat baseline); this is the
+  paper's configuration, where the subdomain solve is a single batched
+  network inference.
+* :class:`FDSubdomainSolver` — solves each subdomain exactly with the finite
+  difference substrate.  With this solver the Mosaic Flow predictor becomes a
+  classical overlapping Schwarz iteration, which is used to validate the
+  predictor's convergence independently of training quality and to isolate
+  communication behaviour in the scaling benchmarks.
+
+Both share the same interface so they are interchangeable everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..autodiff import no_grad
+from ..autodiff.tensor import Tensor
+from ..fd.grid import Grid2D
+from ..fd.solve import solve_laplace_from_loop
+from ..models.base import NeuralSolver
+
+__all__ = ["SubdomainSolver", "SDNetSubdomainSolver", "FDSubdomainSolver"]
+
+
+@runtime_checkable
+class SubdomainSolver(Protocol):
+    """Protocol for atomic-subdomain solvers.
+
+    ``predict(boundaries, points)`` receives a batch of boundary loops of
+    shape ``(B, 4N)`` and local query coordinates of shape ``(q, 2)`` (shared
+    by every subdomain in the batch) and returns predictions of shape
+    ``(B, q)``.
+    """
+
+    #: number of samples in a subdomain boundary loop
+    boundary_size: int
+
+    def predict(self, boundaries: np.ndarray, points: np.ndarray) -> np.ndarray:
+        ...
+
+
+class SDNetSubdomainSolver:
+    """Neural subdomain solver backed by a trained model.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.models.base.NeuralSolver` trained on the subdomain
+        BVP (boundary loops of length ``model.boundary_size``).
+    max_batch:
+        Optional cap on the number of subdomains evaluated per forward call;
+        larger batches are split internally.  This mirrors the memory limit
+        that determines the maximum feasible batch size in Figure 5.
+    """
+
+    def __init__(self, model: NeuralSolver, max_batch: int | None = None):
+        self.model = model
+        self.boundary_size = int(model.boundary_size)
+        self.max_batch = max_batch
+        self.inference_calls = 0
+        self.points_evaluated = 0
+
+    def predict(self, boundaries: np.ndarray, points: np.ndarray) -> np.ndarray:
+        boundaries = np.asarray(boundaries, dtype=float)
+        points = np.asarray(points, dtype=float)
+        if boundaries.ndim != 2 or boundaries.shape[1] != self.boundary_size:
+            raise ValueError(
+                f"boundaries must have shape (B, {self.boundary_size}), got {boundaries.shape}"
+            )
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise ValueError("points must have shape (q, 2)")
+        batch = boundaries.shape[0]
+        q = points.shape[0]
+        out = np.empty((batch, q))
+        step = batch if self.max_batch is None else max(int(self.max_batch), 1)
+        with no_grad():
+            for start in range(0, batch, step):
+                stop = min(start + step, batch)
+                g = Tensor(boundaries[start:stop])
+                x = Tensor(np.broadcast_to(points, (stop - start, q, 2)).copy())
+                out[start:stop] = self.model(g, x).data
+                self.inference_calls += 1
+                self.points_evaluated += (stop - start) * q
+        return out
+
+
+class FDSubdomainSolver:
+    """Exact finite-difference subdomain solver (classical-Schwarz reference).
+
+    Parameters
+    ----------
+    subdomain_grid:
+        The local grid of one atomic subdomain.
+    method:
+        Solver method forwarded to :func:`repro.fd.solve.solve_laplace_from_loop`.
+    """
+
+    def __init__(self, subdomain_grid: Grid2D, method: str = "direct"):
+        self.grid = subdomain_grid
+        self.method = method
+        self.boundary_size = subdomain_grid.boundary_size
+        self.inference_calls = 0
+        self.points_evaluated = 0
+
+    def _point_indices(self, points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Map local physical coordinates to grid indices (must lie on grid points)."""
+
+        cols = points[:, 0] / self.grid.hx
+        rows = points[:, 1] / self.grid.hy
+        col_idx = np.rint(cols).astype(int)
+        row_idx = np.rint(rows).astype(int)
+        if (
+            np.max(np.abs(cols - col_idx)) > 1e-6
+            or np.max(np.abs(rows - row_idx)) > 1e-6
+        ):
+            raise ValueError("FDSubdomainSolver only supports queries at grid points")
+        if (
+            col_idx.min() < 0
+            or col_idx.max() >= self.grid.nx
+            or row_idx.min() < 0
+            or row_idx.max() >= self.grid.ny
+        ):
+            raise ValueError("query point outside the subdomain grid")
+        return row_idx, col_idx
+
+    def predict(self, boundaries: np.ndarray, points: np.ndarray) -> np.ndarray:
+        boundaries = np.asarray(boundaries, dtype=float)
+        points = np.asarray(points, dtype=float)
+        if boundaries.ndim != 2 or boundaries.shape[1] != self.boundary_size:
+            raise ValueError(
+                f"boundaries must have shape (B, {self.boundary_size}), got {boundaries.shape}"
+            )
+        rows, cols = self._point_indices(points)
+        out = np.empty((boundaries.shape[0], points.shape[0]))
+        for i in range(boundaries.shape[0]):
+            field = solve_laplace_from_loop(self.grid, boundaries[i], method=self.method)
+            out[i] = field[rows, cols]
+            self.inference_calls += 1
+            self.points_evaluated += points.shape[0]
+        return out

@@ -1,0 +1,24 @@
+"""Minimal neural-network building blocks on top of :mod:`repro.autodiff`."""
+
+from .activations import GELU, Identity, ReLU, Sine, Tanh, get_activation
+from .conv import Conv1d
+from .linear import Linear
+from .mlp import MLP
+from .module import Module, ModuleList, Parameter
+from . import init
+
+__all__ = [
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Linear",
+    "Conv1d",
+    "MLP",
+    "GELU",
+    "Tanh",
+    "Sine",
+    "ReLU",
+    "Identity",
+    "get_activation",
+    "init",
+]

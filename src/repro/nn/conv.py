@@ -1,0 +1,116 @@
+"""1-D convolution used for the boundary-condition embedding.
+
+The SDNet architecture (Section 3.1 of the paper) convolves the discretized
+boundary condition — a 1-D curve along the domain boundary — before feeding
+it to the split layer.  Convolutions capture local boundary structure at
+negligible per-iteration cost.
+
+The implementation lowers the convolution to an ``im2col`` gather followed by
+a matrix multiplication, entirely with differentiable primitives, so both
+first and higher-order gradients are available without convolution-specific
+adjoint code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import ops
+from ..autodiff.tensor import Tensor
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["Conv1d"]
+
+
+class Conv1d(Module):
+    """1-D convolution over the last axis.
+
+    Input shape ``(batch, in_channels, length)``; output shape
+    ``(batch, out_channels, out_length)`` with
+    ``out_length = (length + 2*padding - kernel_size) // stride + 1``.
+
+    ``padding_mode`` may be ``"zeros"`` or ``"circular"``.  Circular padding
+    is natural for the boundary curve of a closed domain (the four edges of a
+    square form a loop), and is the default used by
+    :class:`repro.models.embedding.BoundaryEmbedding`.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        padding_mode: str = "zeros",
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if padding_mode not in ("zeros", "circular"):
+            raise ValueError("padding_mode must be 'zeros' or 'circular'")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.padding_mode = padding_mode
+
+        fan_in = in_channels * kernel_size
+        self.weight = Parameter(
+            init.kaiming_uniform((out_channels, in_channels, kernel_size), fan_in, rng)
+        )
+        if bias:
+            self.bias = Parameter(np.zeros(out_channels))
+        else:
+            self.bias = None
+
+    def output_length(self, length: int) -> int:
+        return (length + 2 * self.padding - self.kernel_size) // self.stride + 1
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 3:
+            raise ValueError(
+                f"Conv1d expects (batch, channels, length) input, got shape {x.shape}"
+            )
+        batch, channels, length = x.shape
+        if channels != self.in_channels:
+            raise ValueError(
+                f"expected {self.in_channels} input channels, got {channels}"
+            )
+
+        if self.padding > 0:
+            if self.padding_mode == "zeros":
+                x = ops.pad(x, ((0, 0), (0, 0), (self.padding, self.padding)))
+            else:  # circular
+                left = x[:, :, length - self.padding:]
+                right = x[:, :, : self.padding]
+                x = ops.concatenate([left, x, right], axis=2)
+        padded_length = length + 2 * self.padding
+        out_length = (padded_length - self.kernel_size) // self.stride + 1
+        if out_length <= 0:
+            raise ValueError("kernel larger than padded input")
+
+        # im2col gather: (batch, in_channels, out_length, kernel)
+        offsets = np.arange(out_length) * self.stride
+        index = offsets[:, None] + np.arange(self.kernel_size)[None, :]
+        cols = x[:, :, index]
+        # -> (batch, out_length, in_channels * kernel)
+        cols = ops.transpose(cols, (0, 2, 1, 3))
+        cols = ops.reshape(cols, (batch, out_length, self.in_channels * self.kernel_size))
+        weight = ops.reshape(
+            self.weight, (self.out_channels, self.in_channels * self.kernel_size)
+        )
+        out = ops.matmul(cols, ops.transpose(weight))  # (batch, out_length, out_channels)
+        if self.bias is not None:
+            out = out + self.bias
+        return ops.transpose(out, (0, 2, 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Conv1d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding}, padding_mode='{self.padding_mode}')"
+        )

@@ -1,0 +1,34 @@
+"""Weight initialization schemes."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "kaiming_uniform", "zeros", "uniform"]
+
+
+def xavier_uniform(shape: tuple, fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: tuple, fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    std = math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape: tuple, fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    bound = math.sqrt(3.0 / fan_in) if fan_in > 0 else 0.0
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def uniform(shape: tuple, bound: float, rng: np.random.Generator) -> np.ndarray:
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    return np.zeros(shape)

@@ -1,0 +1,75 @@
+"""Dense (fully connected) layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import ops
+from ..autodiff.taylor import TaylorTriple
+from ..autodiff.tensor import Tensor
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W^T + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output widths.
+    bias:
+        Whether to include the additive bias term.
+    rng:
+        Numpy random generator used for initialization (keeps runs
+        reproducible and lets data-parallel ranks start from identical
+        weights when seeded identically).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.weight = Parameter(
+            init.xavier_uniform(
+                (out_features, in_features), in_features, out_features, rng
+            )
+        )
+        if bias:
+            self.bias = Parameter(np.zeros(out_features))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = ops.matmul(x, ops.transpose(self.weight))
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def taylor_forward(self, triple: TaylorTriple) -> TaylorTriple:
+        """Propagate a Taylor triple through the affine map.
+
+        The map is linear in the input, so the bias only affects the value
+        component; the weight multiplies all three components.
+        """
+
+        weight_t = ops.transpose(self.weight)
+        out = triple.matmul(weight_t)
+        if self.bias is not None:
+            out = TaylorTriple(out.value + self.bias, out.d1, out.d2)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Linear(in_features={self.in_features}, "
+            f"out_features={self.out_features}, bias={self.bias is not None})"
+        )

@@ -1,0 +1,71 @@
+"""Multi-layer perceptron trunk with Taylor-mode support."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..autodiff.taylor import TaylorTriple
+from ..autodiff.tensor import Tensor
+from .activations import get_activation
+from .linear import Linear
+from .module import Module, ModuleList
+
+__all__ = ["MLP"]
+
+
+class MLP(Module):
+    """A stack of :class:`Linear` layers with a shared activation.
+
+    The final layer is linear (no activation), matching the SDNet trunk in
+    the paper (a stack of linear layers each followed by GELU, ending in a
+    scalar output head).
+
+    Parameters
+    ----------
+    layer_sizes:
+        Sequence ``[in, hidden..., out]`` of layer widths.
+    activation:
+        Name of the activation placed after every layer except the last.
+    rng:
+        Random generator for reproducible initialization.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        activation: str = "gelu",
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if len(layer_sizes) < 2:
+            raise ValueError("MLP needs at least an input and an output size")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.layer_sizes = tuple(int(s) for s in layer_sizes)
+        self.activation = get_activation(activation)
+        layers = []
+        for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:]):
+            layers.append(Linear(fan_in, fan_out, rng=rng))
+        self.layers = ModuleList(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        n_layers = len(self.layers)
+        for i, layer in enumerate(self.layers):
+            x = layer(x)
+            if i < n_layers - 1:
+                x = self.activation(x)
+        return x
+
+    def taylor_forward(self, triple: TaylorTriple) -> TaylorTriple:
+        """Propagate second-order Taylor coefficients through the trunk."""
+
+        n_layers = len(self.layers)
+        act = self.activation
+        for i, layer in enumerate(self.layers):
+            triple = layer.taylor_forward(triple)
+            if i < n_layers - 1:
+                triple = triple.apply_activation(
+                    act.forward, act.derivative, act.second_derivative
+                )
+        return triple

@@ -1,0 +1,24 @@
+"""Optimizers and learning-rate schedules."""
+
+from .adam import Adam, AdamW
+from .lamb import LAMB
+from .lr_scheduler import (
+    ConstantLR,
+    WarmupPolynomialDecay,
+    scale_lr_sqrt,
+    scale_warmup_linear,
+)
+from .optimizer import Optimizer
+from .sgd import SGD
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "LAMB",
+    "WarmupPolynomialDecay",
+    "ConstantLR",
+    "scale_lr_sqrt",
+    "scale_warmup_linear",
+]

@@ -1,0 +1,116 @@
+"""Learning-rate schedules and large-batch scaling rules.
+
+The paper's training recipe (Section 5.2):
+
+* warmup over a fixed fraction of iterations, then polynomial decay with
+  exponent 1 (i.e. linear decay) to zero;
+* when scaling to ``k`` times the single-GPU batch size, the maximum
+  learning rate is multiplied by ``sqrt(k)`` and the warmup fraction is
+  scaled linearly with ``k``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .optimizer import Optimizer
+
+__all__ = [
+    "WarmupPolynomialDecay",
+    "ConstantLR",
+    "scale_lr_sqrt",
+    "scale_warmup_linear",
+]
+
+
+def scale_lr_sqrt(base_lr: float, batch_scale: float) -> float:
+    """Square-root learning-rate scaling rule for large batches."""
+
+    if batch_scale <= 0:
+        raise ValueError("batch_scale must be positive")
+    return base_lr * math.sqrt(batch_scale)
+
+
+def scale_warmup_linear(base_fraction: float, batch_scale: float, cap: float = 0.5) -> float:
+    """Linear warmup-fraction scaling rule, capped to at most ``cap``."""
+
+    if batch_scale <= 0:
+        raise ValueError("batch_scale must be positive")
+    return min(base_fraction * batch_scale, cap)
+
+
+class LRScheduler:
+    """Base class: maps an iteration counter to a learning rate."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.iteration = 0
+
+    def get_lr(self, iteration: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one iteration and update the optimizer's learning rate."""
+
+        lr = self.get_lr(self.iteration)
+        self.optimizer.lr = lr
+        self.iteration += 1
+        return lr
+
+
+class ConstantLR(LRScheduler):
+    """Keeps the learning rate fixed (useful as a control in ablations)."""
+
+    def __init__(self, optimizer: Optimizer, lr: float | None = None):
+        super().__init__(optimizer)
+        self.lr = float(lr if lr is not None else optimizer.lr)
+
+    def get_lr(self, iteration: int) -> float:
+        return self.lr
+
+
+class WarmupPolynomialDecay(LRScheduler):
+    """Linear warmup followed by polynomial decay to ``end_lr``.
+
+    Parameters
+    ----------
+    optimizer:
+        Optimizer whose ``lr`` attribute is updated in place.
+    max_lr:
+        Peak learning rate reached at the end of warmup.
+    total_iterations:
+        Total number of optimizer steps in the run.
+    warmup_fraction:
+        Fraction of iterations used for linear warmup (paper: 0.1 %).
+    power:
+        Polynomial decay exponent (paper: 1, i.e. linear decay).
+    end_lr:
+        Final learning rate.
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        max_lr: float,
+        total_iterations: int,
+        warmup_fraction: float = 0.001,
+        power: float = 1.0,
+        end_lr: float = 0.0,
+    ):
+        super().__init__(optimizer)
+        if total_iterations <= 0:
+            raise ValueError("total_iterations must be positive")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        self.max_lr = float(max_lr)
+        self.total_iterations = int(total_iterations)
+        self.warmup_iterations = max(int(round(warmup_fraction * total_iterations)), 0)
+        self.power = float(power)
+        self.end_lr = float(end_lr)
+
+    def get_lr(self, iteration: int) -> float:
+        if self.warmup_iterations > 0 and iteration < self.warmup_iterations:
+            return self.max_lr * (iteration + 1) / self.warmup_iterations
+        decay_steps = max(self.total_iterations - self.warmup_iterations, 1)
+        progress = min(max(iteration - self.warmup_iterations, 0) / decay_steps, 1.0)
+        return (self.max_lr - self.end_lr) * (1.0 - progress) ** self.power + self.end_lr

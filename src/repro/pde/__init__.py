@@ -1,0 +1,29 @@
+"""Boundary value problems, collocation sampling and physics-informed losses."""
+
+from .bvp import BoundaryValueProblem, Domain, laplace_bvp
+from .collocation import (
+    grid_points,
+    sample_collocation,
+    sample_interior_sobol,
+    sample_interior_uniform,
+)
+from .laplace import HARMONIC_FUNCTIONS, harmonic_bvp, sine_boundary_bvp
+from .losses import PinnLoss, PinnLossValues, data_loss, laplace_residual_loss, mse_loss
+
+__all__ = [
+    "BoundaryValueProblem",
+    "Domain",
+    "laplace_bvp",
+    "HARMONIC_FUNCTIONS",
+    "harmonic_bvp",
+    "sine_boundary_bvp",
+    "sample_collocation",
+    "sample_interior_uniform",
+    "sample_interior_sobol",
+    "grid_points",
+    "PinnLoss",
+    "PinnLossValues",
+    "mse_loss",
+    "data_loss",
+    "laplace_residual_loss",
+]

@@ -1,0 +1,128 @@
+"""Boundary value problem abstractions (eq. 1 of the paper).
+
+A :class:`BoundaryValueProblem` bundles the differential operator, the
+boundary operator, the forcing and boundary functions, and the domain.  The
+reproduction focuses on the 2-D Laplace equation with Dirichlet boundary
+conditions (eq. 2), but the abstraction keeps the operator pluggable so the
+physics loss and data generation are PDE-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..fd.grid import Grid2D
+
+__all__ = ["Domain", "BoundaryValueProblem", "laplace_bvp"]
+
+
+@dataclass(frozen=True)
+class Domain:
+    """Axis-aligned rectangular domain ``[x0, x0+Lx] x [y0, y0+Ly]``."""
+
+    extent: tuple[float, float] = (1.0, 1.0)
+    origin: tuple[float, float] = (0.0, 0.0)
+
+    @property
+    def area(self) -> float:
+        return self.extent[0] * self.extent[1]
+
+    def contains(self, points: np.ndarray, tol: float = 1e-12) -> np.ndarray:
+        """Boolean mask of points inside (or on the boundary of) the domain."""
+
+        points = np.asarray(points, dtype=float)
+        x, y = points[..., 0], points[..., 1]
+        x0, y0 = self.origin
+        lx, ly = self.extent
+        return (
+            (x >= x0 - tol)
+            & (x <= x0 + lx + tol)
+            & (y >= y0 - tol)
+            & (y <= y0 + ly + tol)
+        )
+
+    def grid(self, nx: int, ny: int | None = None) -> Grid2D:
+        """Discretize the domain with ``nx x ny`` points."""
+
+        ny = ny if ny is not None else nx
+        return Grid2D(nx=nx, ny=ny, extent=self.extent, origin=self.origin)
+
+
+@dataclass
+class BoundaryValueProblem:
+    """A boundary value problem ``D[u] = f`` in ``Omega``, ``B[u] = g`` on its boundary.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier ("laplace", "poisson", ...).
+    domain:
+        The rectangular domain ``Omega``.
+    forcing:
+        Callable ``f(x, y)`` (vectorized) or ``None`` for the homogeneous case.
+    boundary_function:
+        Callable ``g(x, y)`` giving Dirichlet values, or ``None`` if the
+        instance is specified by a discretized boundary loop instead.
+    exact_solution:
+        Optional callable ``u(x, y)`` when an analytic solution is known
+        (used heavily by the test suite).
+    """
+
+    name: str
+    domain: Domain
+    forcing: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None
+    boundary_function: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None
+    exact_solution: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def boundary_loop(self, grid: Grid2D) -> np.ndarray:
+        """Sample the boundary function along the grid's boundary loop."""
+
+        if self.boundary_function is None:
+            raise ValueError("this BVP instance has no boundary function attached")
+        return grid.boundary_from_function(self.boundary_function)
+
+    def forcing_field(self, grid: Grid2D) -> np.ndarray | float:
+        if self.forcing is None:
+            return 0.0
+        return grid.field_from_function(self.forcing)
+
+    def exact_field(self, grid: Grid2D) -> np.ndarray:
+        if self.exact_solution is None:
+            raise ValueError("no exact solution is attached to this BVP")
+        return grid.field_from_function(self.exact_solution)
+
+    def reference_solution(self, grid: Grid2D, method: str = "auto") -> np.ndarray:
+        """Numerical reference solution on ``grid`` (exact one if available)."""
+
+        from ..fd.solve import solve_poisson
+
+        if self.exact_solution is not None:
+            return self.exact_field(grid)
+        boundary_field = grid.insert_boundary(self.boundary_loop(grid))
+        forcing = self.forcing_field(grid)
+        # The FD solver uses the -Laplace(u) = f sign convention.
+        if not np.isscalar(forcing):
+            forcing = -forcing
+        elif forcing != 0.0:
+            forcing = -forcing
+        return solve_poisson(grid, forcing, boundary_field, method=method)
+
+
+def laplace_bvp(
+    boundary_function: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    domain: Domain | None = None,
+    exact_solution: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
+) -> BoundaryValueProblem:
+    """Convenience constructor for a Dirichlet Laplace BVP (eq. 2)."""
+
+    return BoundaryValueProblem(
+        name="laplace",
+        domain=domain if domain is not None else Domain(),
+        forcing=None,
+        boundary_function=boundary_function,
+        exact_solution=exact_solution,
+    )

@@ -1,0 +1,78 @@
+"""Harmonic functions and Laplace-specific helpers.
+
+A library of closed-form harmonic functions used for testing the finite
+difference substrate, the physics loss, and the Mosaic Flow predictor: each
+is an exact solution of the Laplace equation, so the corresponding Dirichlet
+BVP has a known solution everywhere in the domain.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .bvp import BoundaryValueProblem, Domain, laplace_bvp
+
+__all__ = ["HARMONIC_FUNCTIONS", "harmonic_bvp", "sine_boundary_bvp"]
+
+
+def _linear(x, y):
+    return 1.5 * x - 0.75 * y + 0.25
+
+
+def _saddle(x, y):
+    return x * x - y * y
+
+
+def _product(x, y):
+    return x * y
+
+
+def _exp_sine(x, y):
+    return np.exp(np.pi * x) * np.sin(np.pi * y)
+
+
+def _sin_cosh(x, y):
+    return np.sin(2.0 * np.pi * x) * np.cosh(2.0 * np.pi * y)
+
+
+def _cubic(x, y):
+    return x ** 3 - 3.0 * x * y ** 2
+
+
+#: name -> vectorized harmonic function u(x, y) with Laplace(u) = 0
+HARMONIC_FUNCTIONS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "linear": _linear,
+    "saddle": _saddle,
+    "product": _product,
+    "exp_sine": _exp_sine,
+    "sin_cosh": _sin_cosh,
+    "cubic": _cubic,
+}
+
+
+def harmonic_bvp(name: str, domain: Domain | None = None) -> BoundaryValueProblem:
+    """Laplace BVP whose boundary data comes from a known harmonic function."""
+
+    try:
+        fn = HARMONIC_FUNCTIONS[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown harmonic function '{name}'; available: {sorted(HARMONIC_FUNCTIONS)}"
+        ) from exc
+    return laplace_bvp(boundary_function=fn, domain=domain, exact_solution=fn)
+
+
+def sine_boundary_bvp(domain: Domain | None = None, frequency: float = 1.0) -> BoundaryValueProblem:
+    """The evaluation boundary condition used in Figure 7: ``g(x) = sin(2*pi*x)``.
+
+    The boundary value depends only on the position along the x axis (applied
+    on all four edges), which is the simple test condition the paper uses to
+    compare SDNets trained on different GPU counts.
+    """
+
+    def g(x, y):
+        return np.sin(2.0 * np.pi * frequency * x)
+
+    return laplace_bvp(boundary_function=g, domain=domain)

@@ -1,0 +1,121 @@
+"""Physics-informed loss functions.
+
+The SDNet training loss (Section 3.3 of the paper) is the sum of
+
+* a **data loss**: mean squared error between the network prediction and the
+  reference (pyAMG-substitute) solution at points with known values, and
+* a **PDE loss** (eq. 3): the mean squared PDE residual — for the Laplace
+  equation, the squared Laplacian of the network output — evaluated at
+  collocation points, which requires second derivatives with respect to the
+  network inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autodiff import ops
+from ..autodiff.tensor import Tensor, astensor
+from ..models.base import NeuralSolver
+
+__all__ = ["mse_loss", "data_loss", "laplace_residual_loss", "PinnLoss", "PinnLossValues"]
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    """Mean squared error between a prediction tensor and a target array."""
+
+    target = astensor(target)
+    diff = prediction - target
+    return ops.mean(diff * diff)
+
+
+def data_loss(model: NeuralSolver, g, x, u_true) -> Tensor:
+    """MSE between the model prediction and known solution values."""
+
+    prediction = model(g, x)
+    return mse_loss(prediction, u_true)
+
+
+def laplace_residual_loss(
+    model: NeuralSolver, g, x_collocation, method: str = "taylor"
+) -> Tensor:
+    """Mean squared Laplace residual at collocation points (eq. 3)."""
+
+    if hasattr(model, "laplacian_taylor") and method == "taylor":
+        residual = model.laplacian(g, x_collocation, create_graph=True, method="taylor")
+    elif method == "autograd":
+        if hasattr(model, "laplacian_autograd"):
+            residual = model.laplacian_autograd(g, x_collocation, create_graph=True)
+        else:
+            residual = model.laplacian(g, x_collocation, create_graph=True)
+    else:
+        residual = model.laplacian(g, x_collocation, create_graph=True)
+    return ops.mean(residual * residual)
+
+
+@dataclass
+class PinnLossValues:
+    """Container for the individual loss terms of one evaluation."""
+
+    total: Tensor
+    data: Tensor
+    pde: Tensor
+
+    def to_floats(self) -> dict[str, float]:
+        return {
+            "total": self.total.item(),
+            "data": self.data.item(),
+            "pde": self.pde.item(),
+        }
+
+
+class PinnLoss:
+    """Combined physics-informed loss ``L = L_data + pde_weight * L_pde``.
+
+    Parameters
+    ----------
+    pde_weight:
+        Weight of the PDE residual term (the paper uses an unweighted sum).
+    laplacian_method:
+        ``"taylor"`` (forward-over-reverse, default) or ``"autograd"``
+        (nested reverse mode) for the second derivatives.
+    use_pde_loss:
+        Disabling the PDE term reproduces the purely data-driven ablation of
+        Table 3.
+    """
+
+    def __init__(
+        self,
+        pde_weight: float = 1.0,
+        laplacian_method: str = "taylor",
+        use_pde_loss: bool = True,
+    ):
+        self.pde_weight = float(pde_weight)
+        self.laplacian_method = laplacian_method
+        self.use_pde_loss = bool(use_pde_loss)
+
+    def data_term(self, model: NeuralSolver, g, x_data, u_data) -> Tensor:
+        return data_loss(model, g, x_data, u_data)
+
+    def pde_term(self, model: NeuralSolver, g, x_collocation) -> Tensor:
+        return laplace_residual_loss(model, g, x_collocation, method=self.laplacian_method)
+
+    def __call__(
+        self,
+        model: NeuralSolver,
+        g,
+        x_data,
+        u_data,
+        x_collocation=None,
+    ) -> PinnLossValues:
+        """Evaluate both terms and their (weighted) sum."""
+
+        l_data = self.data_term(model, g, x_data, u_data)
+        if self.use_pde_loss and x_collocation is not None:
+            l_pde = self.pde_term(model, g, x_collocation)
+        else:
+            l_pde = Tensor(np.zeros(()))
+        total = l_data + self.pde_weight * l_pde
+        return PinnLossValues(total=total, data=l_data, pde=l_pde)

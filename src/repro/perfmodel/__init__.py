@@ -1,0 +1,26 @@
+"""Performance models: GPU platforms (Table 2) and scaling predictions (Section 4.3)."""
+
+from .gpu import (
+    GPU_SPECS,
+    GPUSpec,
+    concat_first_layer_flops,
+    inference_time,
+    mlp_trunk_flops,
+    model_inference_flops,
+    sdnet_first_layer_flops,
+)
+from .scaling import MFPCostModel, ScalingPoint, strong_scaling_curve, weak_scaling_curve
+
+__all__ = [
+    "GPUSpec",
+    "GPU_SPECS",
+    "sdnet_first_layer_flops",
+    "concat_first_layer_flops",
+    "mlp_trunk_flops",
+    "model_inference_flops",
+    "inference_time",
+    "MFPCostModel",
+    "ScalingPoint",
+    "strong_scaling_curve",
+    "weak_scaling_curve",
+]

@@ -1,0 +1,112 @@
+"""GPU platform models (Table 2 of the paper) and inference cost estimates.
+
+The reproduction runs on CPU, so absolute wall-clock numbers cannot match the
+paper's A30/V100/A100 measurements.  To regenerate the *shape* of the
+performance figures, the benchmarks combine
+
+* algorithmic counts measured from the actual implementation (subdomains
+  solved, points predicted, floating point operations), with
+* the platform models defined here (peak rates and memory capacities taken
+  from Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "GPUSpec",
+    "GPU_SPECS",
+    "sdnet_first_layer_flops",
+    "concat_first_layer_flops",
+    "mlp_trunk_flops",
+    "model_inference_flops",
+    "inference_time",
+]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Hardware characteristics of one evaluation platform (Table 2)."""
+
+    name: str
+    peak_fp32_tflops: float
+    memory_gb: float
+    memory_bandwidth_gbs: float
+    intranode_interconnect_gbs: float
+    gpus_per_node: int
+
+    @property
+    def peak_flops(self) -> float:
+        return self.peak_fp32_tflops * 1e12
+
+    @property
+    def memory_bytes(self) -> float:
+        return self.memory_gb * 1024 ** 3
+
+
+#: the three evaluation platforms of Table 2
+GPU_SPECS: dict[str, GPUSpec] = {
+    "V100": GPUSpec("V100", peak_fp32_tflops=14.0, memory_gb=16.0,
+                    memory_bandwidth_gbs=900.0, intranode_interconnect_gbs=32.0,
+                    gpus_per_node=4),
+    "A30": GPUSpec("A30", peak_fp32_tflops=10.3, memory_gb=24.0,
+                   memory_bandwidth_gbs=933.0, intranode_interconnect_gbs=200.0,
+                   gpus_per_node=4),
+    "A100": GPUSpec("A100", peak_fp32_tflops=19.5, memory_gb=80.0,
+                    memory_bandwidth_gbs=2000.0, intranode_interconnect_gbs=600.0,
+                    gpus_per_node=2),
+}
+
+
+# ---------------------------------------------------------------------------
+# FLOP counts (Section 3.2 cost analysis)
+# ---------------------------------------------------------------------------
+
+
+def sdnet_first_layer_flops(boundary_size: int, hidden: int, q_points: int) -> float:
+    """First-layer cost of the split-layer network: ``O(N d + q d)``."""
+
+    return 2.0 * (boundary_size * hidden + q_points * hidden)
+
+
+def concat_first_layer_flops(boundary_size: int, hidden: int, q_points: int) -> float:
+    """First-layer cost of the input-concat baseline: ``O(q N d)``."""
+
+    return 2.0 * q_points * (boundary_size + 2) * hidden
+
+
+def mlp_trunk_flops(hidden: int, layers: int, q_points: int) -> float:
+    """Trunk cost: ``layers`` dense layers of width ``hidden`` per query point."""
+
+    return 2.0 * q_points * layers * hidden * hidden
+
+
+def model_inference_flops(
+    boundary_size: int,
+    hidden: int,
+    trunk_layers: int,
+    q_points: int,
+    architecture: str = "split",
+) -> float:
+    """Total FLOPs for one inference over ``q_points`` query points."""
+
+    if architecture == "split":
+        first = sdnet_first_layer_flops(boundary_size, hidden, q_points)
+    elif architecture == "concat":
+        first = concat_first_layer_flops(boundary_size, hidden, q_points)
+    else:
+        raise ValueError("architecture must be 'split' or 'concat'")
+    return first + mlp_trunk_flops(hidden, trunk_layers, q_points)
+
+
+def inference_time(flops: float, gpu: GPUSpec, efficiency: float = 0.5) -> float:
+    """Estimated inference time on ``gpu`` at a given fraction of peak.
+
+    The paper reports batched MFP inference reaching roughly 50 % of peak
+    (Section 5.3), which is the default efficiency.
+    """
+
+    if not 0.0 < efficiency <= 1.0:
+        raise ValueError("efficiency must be in (0, 1]")
+    return flops / (gpu.peak_flops * efficiency)

@@ -1,0 +1,196 @@
+"""Strong and weak scaling predictions for the distributed MFP (Section 4.3).
+
+The per-iteration cost of the distributed Mosaic Flow predictor on ``P``
+processors is modelled as
+
+    C_comp = c * (d N)^2 / (m^2 P)
+    C_comm = 8 I alpha + I * 16 N d / (sqrt(P) beta)
+
+where ``N`` is the global resolution per side, ``m`` the subdomain
+resolution, ``d`` the subdomain placement density (2 in this work), ``c`` the
+cost of one SDNet inference, and ``alpha`` / ``beta`` the network latency and
+bandwidth.  These closed forms, calibrated either from the GPU model or from
+a measured single-process run, regenerate the strong-scaling (Figure 9a) and
+weak-scaling (Figure 9b) curves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..distributed.costmodel import AlphaBetaModel
+from .gpu import GPUSpec, inference_time, model_inference_flops
+
+__all__ = ["MFPCostModel", "ScalingPoint", "strong_scaling_curve", "weak_scaling_curve"]
+
+
+@dataclass(frozen=True)
+class MFPCostModel:
+    """Cost model of one distributed-MFP configuration.
+
+    Parameters
+    ----------
+    subdomain_resolution:
+        Grid points per subdomain side (``m``).
+    density:
+        Subdomain placement density ``d`` (2 = anchors every half subdomain).
+    per_subdomain_inference_seconds:
+        Calibrated cost ``c`` of one subdomain inference (seconds).
+    network:
+        Alpha-beta model of the interconnect.
+    """
+
+    subdomain_resolution: int
+    density: int
+    per_subdomain_inference_seconds: float
+    network: AlphaBetaModel
+
+    @classmethod
+    def from_gpu(
+        cls,
+        gpu: GPUSpec,
+        network: AlphaBetaModel,
+        boundary_size: int,
+        hidden: int,
+        trunk_layers: int,
+        subdomain_resolution: int,
+        density: int = 2,
+        efficiency: float = 0.5,
+    ) -> "MFPCostModel":
+        """Calibrate the per-subdomain inference cost from the GPU model."""
+
+        points = 2 * subdomain_resolution - 1  # the two centre lines
+        flops = model_inference_flops(boundary_size, hidden, trunk_layers, points)
+        return cls(
+            subdomain_resolution=subdomain_resolution,
+            density=density,
+            per_subdomain_inference_seconds=inference_time(flops, gpu, efficiency),
+            network=network,
+        )
+
+    # -- per-iteration costs -------------------------------------------------------
+
+    def subdomains_per_processor(self, resolution: int, world_size: int) -> float:
+        """``(d N)^2 / (m^2 P)`` subdomains assigned to each processor."""
+
+        return (self.density * resolution) ** 2 / (
+            self.subdomain_resolution ** 2 * world_size
+        )
+
+    def computation_time(self, resolution: int, world_size: int, iterations: int) -> float:
+        per_iteration = (
+            self.per_subdomain_inference_seconds
+            * self.subdomains_per_processor(resolution, world_size)
+        )
+        return iterations * per_iteration
+
+    def communication_time(self, resolution: int, world_size: int, iterations: int) -> float:
+        if world_size <= 1:
+            return 0.0
+        latency = 8.0 * iterations * self.network.alpha
+        words = iterations * 16.0 * resolution * self.density / math.sqrt(world_size)
+        return latency + words * 8.0 / self.network.beta
+
+    def allgather_time(self, resolution: int, world_size: int) -> float:
+        """Final solution assembly: every rank contributes its block (8-byte words)."""
+
+        if world_size <= 1:
+            return 0.0
+        block_bytes = 8.0 * resolution * resolution / world_size
+        return self.network.ring_allgather(block_bytes, world_size)
+
+    def total_time(self, resolution: int, world_size: int, iterations: int) -> dict[str, float]:
+        comp = self.computation_time(resolution, world_size, iterations)
+        comm = self.communication_time(resolution, world_size, iterations)
+        gather = self.allgather_time(resolution, world_size)
+        return {
+            "computation": comp,
+            "sendrecv": comm,
+            "allgather": gather,
+            "total": comp + comm + gather,
+        }
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a scaling curve."""
+
+    world_size: int
+    resolution: int
+    iterations: int
+    computation: float
+    sendrecv: float
+    allgather: float
+
+    @property
+    def total(self) -> float:
+        return self.computation + self.sendrecv + self.allgather
+
+    @property
+    def communication_fraction(self) -> float:
+        total = self.total
+        return (self.sendrecv + self.allgather) / total if total > 0 else 0.0
+
+
+def strong_scaling_curve(
+    model: MFPCostModel,
+    resolution: int,
+    world_sizes: list[int],
+    iterations_per_world_size: dict[int, int] | int,
+) -> list[ScalingPoint]:
+    """Predicted strong-scaling curve (fixed problem, growing processor count)."""
+
+    points = []
+    for world_size in world_sizes:
+        iterations = (
+            iterations_per_world_size
+            if isinstance(iterations_per_world_size, int)
+            else iterations_per_world_size[world_size]
+        )
+        breakdown = model.total_time(resolution, world_size, iterations)
+        points.append(
+            ScalingPoint(
+                world_size=world_size,
+                resolution=resolution,
+                iterations=iterations,
+                computation=breakdown["computation"],
+                sendrecv=breakdown["sendrecv"],
+                allgather=breakdown["allgather"],
+            )
+        )
+    return points
+
+
+def weak_scaling_curve(
+    model: MFPCostModel,
+    per_processor_resolution: tuple[int, int],
+    world_sizes: list[int],
+    iterations: int,
+) -> list[ScalingPoint]:
+    """Predicted weak-scaling curve (fixed work per processor).
+
+    ``per_processor_resolution`` is the ``(rows, cols)`` resolution owned by
+    each processor; the global resolution grows with the processor grid.
+    """
+
+    rows, cols = per_processor_resolution
+    points = []
+    for world_size in world_sizes:
+        grid_rows = int(math.floor(math.sqrt(world_size)))
+        while world_size % grid_rows:
+            grid_rows -= 1
+        grid_cols = world_size // grid_rows
+        global_resolution = int(math.sqrt(rows * grid_rows * cols * grid_cols))
+        breakdown = model.total_time(global_resolution, world_size, iterations)
+        points.append(
+            ScalingPoint(
+                world_size=world_size,
+                resolution=global_resolution,
+                iterations=iterations,
+                computation=breakdown["computation"],
+                sendrecv=breakdown["sendrecv"],
+                allgather=breakdown["allgather"],
+            )
+        )
+    return points

@@ -1,0 +1,15 @@
+"""Classical Schwarz domain-decomposition baselines."""
+
+from .alternating import (
+    AlternatingSchwarz,
+    SchwarzResult,
+    SubdomainWindow,
+    uniform_decomposition,
+)
+
+__all__ = [
+    "AlternatingSchwarz",
+    "SchwarzResult",
+    "SubdomainWindow",
+    "uniform_decomposition",
+]

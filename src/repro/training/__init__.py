@@ -1,0 +1,31 @@
+"""Training: single-device trainer, data-parallel Algorithm 1, metrics, memory."""
+
+from .ddp import DataParallelTrainer, DdpTrainingResult, scale_config_for_world_size
+from .memory import MemoryReport, V100_MEMORY_BYTES, measure_training_memory
+from .metrics import EvaluationMetrics, mae, max_error, mse, relative_l2
+from .trainer import (
+    Trainer,
+    TrainingConfig,
+    TrainingHistory,
+    build_optimizer,
+    evaluate_validation_mse,
+)
+
+__all__ = [
+    "Trainer",
+    "TrainingConfig",
+    "TrainingHistory",
+    "build_optimizer",
+    "evaluate_validation_mse",
+    "DataParallelTrainer",
+    "DdpTrainingResult",
+    "scale_config_for_world_size",
+    "MemoryReport",
+    "measure_training_memory",
+    "V100_MEMORY_BYTES",
+    "mse",
+    "mae",
+    "max_error",
+    "relative_l2",
+    "EvaluationMetrics",
+]

@@ -1,0 +1,163 @@
+"""Distributed data-parallel SDNet training (Algorithm 1 of the paper).
+
+Each rank processes its shard of the global batch, computes the data-loss
+gradients and the collocation (PDE) loss gradients in two separate passes,
+accumulates them locally, and participates in a *single* allreduce that
+averages the accumulated gradients across ranks.  This preserves exact SGD
+semantics — the result equals the gradient of the global mean loss — while
+paying one collective per iteration instead of two (Section 3.3).
+
+The module also implements the paper's large-batch scaling rules: when the
+global batch is ``k`` times the single-GPU batch, the peak learning rate is
+scaled by ``sqrt(k)`` and the warmup fraction linearly with ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..autodiff.tensor import Tensor
+from ..data.dataset import SDNetDataset
+from ..distributed.comm import Communicator, ReduceOp
+from ..distributed.simulated import run_spmd
+from ..models.base import NeuralSolver
+from ..optim import scale_lr_sqrt, scale_warmup_linear
+from .trainer import Trainer, TrainingConfig, TrainingHistory, evaluate_validation_mse
+
+__all__ = ["DdpTrainingResult", "DataParallelTrainer", "scale_config_for_world_size"]
+
+
+def scale_config_for_world_size(config: TrainingConfig, world_size: int) -> TrainingConfig:
+    """Apply the paper's large-batch hyperparameter scaling rules.
+
+    The per-rank batch size stays fixed (the global batch grows with the
+    world size), the maximum learning rate scales with the square root of the
+    batch-size increase, and the warmup fraction scales linearly.
+    """
+
+    if world_size <= 1:
+        return config
+    return replace(
+        config,
+        batch_size=config.batch_size * world_size,
+        max_lr=scale_lr_sqrt(config.max_lr, world_size),
+        warmup_fraction=scale_warmup_linear(config.warmup_fraction, world_size),
+    )
+
+
+@dataclass
+class DdpTrainingResult:
+    """Per-rank result of a data-parallel training run."""
+
+    rank: int
+    world_size: int
+    history: TrainingHistory
+    state_dict: dict
+    gradient_allreduce_count: int = 0
+    comm_stats: dict = field(default_factory=dict)
+
+
+class DataParallelTrainer:
+    """Runs Algorithm 1 on a (simulated) multi-GPU cluster.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-argument callable constructing the model.  Every rank calls it;
+        rank 0's initial parameters are broadcast so all replicas start
+        identically (as PyTorch DDP does).
+    config:
+        Single-device training configuration; scaling rules are applied
+        automatically based on the world size.
+    train_dataset / validation_dataset:
+        Datasets shared by all ranks (each rank reads only its shard of every
+        global batch).
+    """
+
+    def __init__(
+        self,
+        model_factory,
+        config: TrainingConfig,
+        train_dataset: SDNetDataset,
+        validation_dataset: SDNetDataset | None = None,
+        apply_scaling_rules: bool = True,
+    ):
+        self.model_factory = model_factory
+        self.base_config = config
+        self.train_dataset = train_dataset
+        self.validation_dataset = validation_dataset
+        self.apply_scaling_rules = apply_scaling_rules
+
+    # -- per-rank program -----------------------------------------------------------
+
+    def run_rank(self, comm: Communicator, epochs: int | None = None) -> DdpTrainingResult:
+        config = (
+            scale_config_for_world_size(self.base_config, comm.size)
+            if self.apply_scaling_rules
+            else self.base_config
+        )
+        model: NeuralSolver = self.model_factory()
+
+        # Broadcast rank 0's initial parameters so every replica starts equal.
+        state = comm.bcast(model.state_dict() if comm.is_root else None, root=0)
+        model.load_state_dict(state)
+
+        trainer = Trainer(model, config, self.train_dataset, self.validation_dataset)
+        iterator = trainer._iterator(rank=comm.rank, world_size=comm.size)
+        epochs = epochs if epochs is not None else config.epochs
+
+        import time
+
+        history = TrainingHistory()
+        allreduce_count = 0
+        for epoch in range(epochs):
+            iterator.set_epoch(epoch)
+            tic = time.perf_counter()
+            epoch_losses = []
+            for batch in iterator:
+                # Steps 1-2 of Algorithm 1: local gradient accumulation.
+                grads, losses = trainer.compute_gradients(batch)
+                # Step 3: one allreduce for the accumulated gradient.
+                flat = np.concatenate([g.reshape(-1) for g in grads])
+                averaged = comm.allreduce(flat, op=ReduceOp.MEAN)
+                allreduce_count += 1
+                offset = 0
+                averaged_grads = []
+                for g in grads:
+                    averaged_grads.append(averaged[offset: offset + g.size].reshape(g.shape))
+                    offset += g.size
+                trainer.apply_gradients(averaged_grads)
+                epoch_losses.append(losses)
+            history.epoch_times.append(time.perf_counter() - tic)
+            if epoch_losses:
+                history.train_loss.append(float(np.mean([l["total"] for l in epoch_losses])))
+                history.train_data_loss.append(float(np.mean([l["data"] for l in epoch_losses])))
+                history.train_pde_loss.append(float(np.mean([l["pde"] for l in epoch_losses])))
+            history.learning_rates.append(trainer.optimizer.lr)
+            if self.validation_dataset is not None:
+                history.validation_mse.append(
+                    evaluate_validation_mse(model, self.validation_dataset)
+                )
+
+        return DdpTrainingResult(
+            rank=comm.rank,
+            world_size=comm.size,
+            history=history,
+            state_dict=model.state_dict(),
+            gradient_allreduce_count=allreduce_count,
+            comm_stats=comm.trace.as_dict(),
+        )
+
+    # -- driver --------------------------------------------------------------------------
+
+    def run(self, world_size: int, epochs: int | None = None, timeout: float = 600.0) -> list[DdpTrainingResult]:
+        """Train on ``world_size`` simulated ranks; returns per-rank results."""
+
+        return run_spmd(
+            world_size,
+            self.run_rank,
+            kwargs={"epochs": epochs},
+            timeout=timeout,
+        )

@@ -1,0 +1,87 @@
+"""Autograd-graph memory accounting (the Table 3 study).
+
+Table 3 of the paper measures the device memory allocated during a training
+step with and without the PDE loss: the higher-order derivative computation
+retains a much larger set of intermediate activations, which is what limits
+the per-GPU batch size and motivates data-parallel training.
+
+On the CPU reproduction we measure the same effect by tracking the bytes of
+every tensor recorded on the autodiff graph during a forward/backward pass
+(:class:`repro.autodiff.GraphMemoryTracker`), and we map the result onto the
+paper's 16 GB V100 budget to reproduce the "OOM" entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autodiff import GraphMemoryTracker, grad
+from ..autodiff.tensor import Tensor
+from ..models.base import NeuralSolver
+from ..pde.losses import PinnLoss
+
+__all__ = ["MemoryReport", "measure_training_memory"]
+
+#: memory budget of the paper's V100 platform (Table 2), in bytes
+V100_MEMORY_BYTES = 16 * 1024 ** 3
+
+
+@dataclass
+class MemoryReport:
+    """Graph-memory measurement for one configuration."""
+
+    num_domains: int
+    points_per_domain: int
+    with_pde_loss: bool
+    graph_bytes: int
+    tensor_count: int
+
+    @property
+    def gigabytes(self) -> float:
+        return self.graph_bytes / 1024 ** 3
+
+    def would_oom(self, budget_bytes: int = V100_MEMORY_BYTES, scale: float = 1.0) -> bool:
+        """Whether the configuration exceeds the (scaled) device budget."""
+
+        return self.graph_bytes * scale > budget_bytes
+
+
+def measure_training_memory(
+    model: NeuralSolver,
+    num_domains: int,
+    points_per_domain: int = 64,
+    with_pde_loss: bool = True,
+    laplacian_method: str = "autograd",
+    seed: int = 0,
+) -> MemoryReport:
+    """Measure the autodiff-graph bytes of one training step.
+
+    A synthetic batch of ``num_domains`` boundary conditions and
+    ``points_per_domain`` data/collocation points is pushed through the model
+    with the data loss and (optionally) the PDE loss, and gradients with
+    respect to the parameters are computed.  The returned report contains the
+    bytes of every tensor retained by the graph.
+    """
+
+    rng = np.random.default_rng(seed)
+    g = Tensor(rng.normal(size=(num_domains, model.boundary_size)))
+    x_data = Tensor(rng.uniform(size=(num_domains, points_per_domain, model.coord_dim)))
+    u_data = Tensor(rng.normal(size=(num_domains, points_per_domain)))
+    x_coll = Tensor(rng.uniform(size=(num_domains, points_per_domain, model.coord_dim)))
+
+    loss_fn = PinnLoss(laplacian_method=laplacian_method, use_pde_loss=with_pde_loss)
+    params = model.parameters()
+
+    with GraphMemoryTracker() as tracker:
+        values = loss_fn(model, g, x_data, u_data, x_coll if with_pde_loss else None)
+        grad(values.total, params)
+
+    return MemoryReport(
+        num_domains=num_domains,
+        points_per_domain=points_per_domain,
+        with_pde_loss=with_pde_loss,
+        graph_bytes=tracker.graph_bytes,
+        tensor_count=tracker.tensor_count,
+    )

@@ -1,0 +1,54 @@
+"""Error metrics used across training and evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mse", "mae", "max_error", "relative_l2", "EvaluationMetrics"]
+
+
+def mse(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Mean squared error."""
+
+    prediction, target = np.asarray(prediction), np.asarray(target)
+    return float(np.mean((prediction - target) ** 2))
+
+
+def mae(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute error (the paper's MFP accuracy metric)."""
+
+    prediction, target = np.asarray(prediction), np.asarray(target)
+    return float(np.mean(np.abs(prediction - target)))
+
+
+def max_error(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Maximum absolute error."""
+
+    prediction, target = np.asarray(prediction), np.asarray(target)
+    return float(np.max(np.abs(prediction - target)))
+
+
+def relative_l2(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Relative L2 error ``||p - t|| / ||t||``."""
+
+    prediction, target = np.asarray(prediction), np.asarray(target)
+    denom = np.linalg.norm(target)
+    return float(np.linalg.norm(prediction - target) / (denom if denom > 0 else 1.0))
+
+
+class EvaluationMetrics:
+    """Convenience container computing all metrics at once."""
+
+    def __init__(self, prediction: np.ndarray, target: np.ndarray):
+        self.mse = mse(prediction, target)
+        self.mae = mae(prediction, target)
+        self.max_error = max_error(prediction, target)
+        self.relative_l2 = relative_l2(prediction, target)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "mse": self.mse,
+            "mae": self.mae,
+            "max_error": self.max_error,
+            "relative_l2": self.relative_l2,
+        }

@@ -1,0 +1,6 @@
+"""Shared utilities: seeding, timing and simple logging."""
+
+from .rng import seeded_rng, spawn_rngs
+from .timer import Timer, Timings
+
+__all__ = ["seeded_rng", "spawn_rngs", "Timer", "Timings"]

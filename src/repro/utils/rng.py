@@ -1,0 +1,26 @@
+"""Reproducible random number generation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["seeded_rng", "spawn_rngs"]
+
+
+def seeded_rng(seed: int | None = 0) -> np.random.Generator:
+    """Create a numpy Generator from an integer seed (``None`` = OS entropy)."""
+
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:
+    """Spawn ``count`` independent generators from one seed.
+
+    Used to give every data-parallel rank (and every benchmark trial) its own
+    stream without correlations.
+    """
+
+    if count <= 0:
+        raise ValueError("count must be positive")
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]

@@ -1,0 +1,61 @@
+"""Lightweight timers for instrumenting the predictors and trainers."""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+
+__all__ = ["Timer", "Timings"]
+
+
+class Timer:
+    """A simple start/stop timer."""
+
+    def __init__(self):
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("timer was not started")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class Timings:
+    """Named accumulation of wall-clock time per category."""
+
+    def __init__(self):
+        self._totals: dict[str, float] = defaultdict(float)
+
+    @contextmanager
+    def measure(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._totals[name] += time.perf_counter() - start
+
+    def add(self, name: str, seconds: float) -> None:
+        self._totals[name] += float(seconds)
+
+    def total(self) -> float:
+        return sum(self._totals.values())
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self._totals)
+
+    def __getitem__(self, name: str) -> float:
+        return self._totals[name]

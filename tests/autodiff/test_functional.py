@@ -1,0 +1,126 @@
+"""Tests for grad / backward / jacobian and gradient accumulation semantics."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, backward, grad, jacobian, ops
+from repro.autodiff.functional import gradcheck
+
+
+class TestGrad:
+    def test_simple_polynomial(self):
+        x = Tensor(np.array([2.0, -1.0]), requires_grad=True)
+        y = ops.sum(x ** 3.0)
+        (g,) = grad(y, [x])
+        assert np.allclose(g.data, 3.0 * x.data ** 2)
+
+    def test_multiple_inputs(self):
+        a = Tensor(np.array([[1.0, 2.0]]), requires_grad=True)
+        b = Tensor(np.array([[3.0], [4.0]]), requires_grad=True)
+        y = ops.sum(ops.matmul(a, b))
+        ga, gb = grad(y, [a, b])
+        assert np.allclose(ga.data, b.data.T)
+        assert np.allclose(gb.data, a.data.T)
+
+    def test_unused_input_gets_zeros(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        y = ops.sum(a * 2.0)
+        ga, gb = grad(y, [a, b])
+        assert np.allclose(gb.data, 0.0)
+
+    def test_unused_input_raises_when_not_allowed(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        y = ops.sum(a * 2.0)
+        with pytest.raises(RuntimeError):
+            grad(y, [a, b], allow_unused=False)
+
+    def test_non_scalar_requires_grad_output(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(ValueError):
+            grad(y, [x])
+        (g,) = grad(y, [x], grad_output=Tensor(np.array([1.0, 0.0, 2.0])))
+        assert np.allclose(g.data, [2.0, 0.0, 4.0])
+
+    def test_single_input_convenience(self):
+        x = Tensor([3.0], requires_grad=True)
+        (g,) = grad(ops.sum(x * x), x)
+        assert np.allclose(g.data, [6.0])
+
+    def test_diamond_graph_accumulates(self):
+        x = Tensor([2.0], requires_grad=True)
+        a = x * 3.0
+        b = x * 5.0
+        y = ops.sum(a + b)
+        (g,) = grad(y, [x])
+        assert np.allclose(g.data, [8.0])
+
+    def test_reused_tensor_in_expression(self):
+        x = Tensor([1.5], requires_grad=True)
+        y = ops.sum(x * x * x)
+        (g,) = grad(y, [x])
+        assert np.allclose(g.data, 3.0 * 1.5 ** 2)
+
+
+class TestBackward:
+    def test_populates_leaf_grads(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        w = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        loss = ops.sum(x * w)
+        backward(loss)
+        assert np.allclose(x.grad.data, w.data)
+        assert np.allclose(w.grad.data, x.data)
+
+    def test_accumulates_on_repeated_backward(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        for _ in range(3):
+            loss = ops.sum(x * 2.0)
+            backward(loss)
+        assert np.allclose(x.grad.data, [6.0])
+
+    def test_tensor_backward_method(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        (x * x).sum().backward()
+        assert np.allclose(x.grad.data, [4.0])
+
+    def test_non_scalar_backward_requires_seed(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError):
+            backward(x * 2.0)
+
+
+class TestJacobian:
+    def test_linear_map_jacobian(self):
+        W = np.random.default_rng(0).normal(size=(3, 4))
+
+        def fn(x):
+            return ops.matmul(Tensor(W), ops.reshape(x, (4, 1)))
+
+        x = Tensor(np.random.default_rng(1).normal(size=4))
+        J = jacobian(fn, x)
+        assert J.shape == (3, 4)
+        assert np.allclose(J, W)
+
+    def test_elementwise_jacobian_is_diagonal(self):
+        x = Tensor(np.array([0.5, 1.0, 2.0]))
+        J = jacobian(lambda t: ops.tanh(t), x)
+        assert np.allclose(J, np.diag(1.0 - np.tanh(x.data) ** 2))
+
+
+class TestGradcheckSelf:
+    def test_gradcheck_detects_wrong_gradient(self):
+        # A deliberately broken "gradient": compare tanh against the gradient of sin.
+        calls = {"n": 0}
+
+        def bad(x):
+            # value depends on x but via a detached path half the time -> mismatch
+            return ops.sum(ops.tanh(Tensor(x.data * 2.0)) + x * 0.0)
+
+        with pytest.raises(AssertionError):
+            gradcheck(bad, [Tensor(np.array([0.3, 0.7]))])
+
+    def test_gradcheck_requires_scalar(self):
+        with pytest.raises(ValueError):
+            gradcheck(lambda x: x * 2.0, [Tensor(np.ones(3))])

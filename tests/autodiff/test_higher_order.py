@@ -1,0 +1,100 @@
+"""Higher-order differentiation: the capability the PDE loss depends on."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, grad, ops
+
+
+def second_derivative(fn, x0: float) -> float:
+    """d^2 fn / dx^2 at ``x0`` via two nested reverse-mode sweeps."""
+
+    x = Tensor(np.array([x0]), requires_grad=True)
+    y = fn(x)
+    (g1,) = grad(ops.sum(y), [x], create_graph=True)
+    (g2,) = grad(ops.sum(g1), [x])
+    return float(g2.data[0])
+
+
+class TestSecondDerivatives:
+    @pytest.mark.parametrize(
+        "fn, d2, x0",
+        [
+            (lambda x: x ** 4.0, lambda x: 12.0 * x ** 2, 1.3),
+            (lambda x: ops.exp(x), np.exp, 0.4),
+            (lambda x: ops.sin(x), lambda x: -np.sin(x), 0.9),
+            (lambda x: ops.tanh(x), lambda x: -2 * np.tanh(x) * (1 - np.tanh(x) ** 2), 0.2),
+            (lambda x: ops.log(x + 2.0), lambda x: -1.0 / (x + 2.0) ** 2, 0.5),
+        ],
+    )
+    def test_analytic_second_derivatives(self, fn, d2, x0):
+        assert second_derivative(fn, x0) == pytest.approx(d2(x0), rel=1e-8)
+
+    def test_gelu_second_derivative_matches_finite_difference(self):
+        from scipy.special import erf
+
+        def gelu(t):
+            return 0.5 * t * (1.0 + ops.erf(t / np.sqrt(2.0)))
+
+        def gelu_np(v):
+            return 0.5 * v * (1 + erf(v / np.sqrt(2)))
+
+        x0, eps = 0.37, 1e-5
+        numeric = (gelu_np(x0 + eps) - 2 * gelu_np(x0) + gelu_np(x0 - eps)) / eps ** 2
+        assert second_derivative(gelu, x0) == pytest.approx(numeric, rel=1e-5)
+
+    def test_laplacian_of_polynomial_field(self):
+        # u(x, y) = x^2 y + y^3 -> u_xx + u_yy = 2y + 6y
+        pts = Tensor(np.array([[0.3, 0.7], [1.0, -2.0]]), requires_grad=True)
+        u = pts[:, 0] ** 2.0 * pts[:, 1] + pts[:, 1] ** 3.0
+        (g,) = grad(ops.sum(u), [pts], create_graph=True)
+        (gxx,) = grad(ops.sum(g[:, 0]), [pts], create_graph=True)
+        (gyy,) = grad(ops.sum(g[:, 1]), [pts], create_graph=True)
+        lap = gxx.data[:, 0] + gyy.data[:, 1]
+        expected = 2 * pts.data[:, 1] + 6 * pts.data[:, 1]
+        assert np.allclose(lap, expected)
+
+    def test_harmonic_function_has_zero_laplacian(self):
+        # u = x^2 - y^2 is harmonic.
+        pts = Tensor(np.random.default_rng(0).normal(size=(5, 2)), requires_grad=True)
+        u = pts[:, 0] ** 2.0 - pts[:, 1] ** 2.0
+        (g,) = grad(ops.sum(u), [pts], create_graph=True)
+        (gxx,) = grad(ops.sum(g[:, 0]), [pts], create_graph=True)
+        (gyy,) = grad(ops.sum(g[:, 1]), [pts], create_graph=True)
+        assert np.allclose(gxx.data[:, 0] + gyy.data[:, 1], 0.0, atol=1e-12)
+
+
+class TestThirdOrderChains:
+    def test_parameter_gradient_of_a_laplacian(self):
+        # u = w * x^3: laplacian_x = 6 w x, d(laplacian)/dw = 6x.
+        w = Tensor(np.array(2.0), requires_grad=True)
+        x = Tensor(np.array([[0.5]]), requires_grad=True)
+        u = w * x ** 3.0
+        (g1,) = grad(ops.sum(u), [x], create_graph=True)
+        (g2,) = grad(ops.sum(g1), [x], create_graph=True)
+        (gw,) = grad(ops.sum(g2), [w])
+        assert gw.data == pytest.approx(6.0 * 0.5)
+
+    def test_pde_residual_gradient_matches_finite_difference(self, small_sdnet, rng):
+        """d/dtheta of the mean squared Laplacian, checked against finite differences."""
+
+        from repro.pde.losses import laplace_residual_loss
+
+        g = Tensor(rng.normal(size=(1, small_sdnet.boundary_size)))
+        x = Tensor(rng.uniform(size=(1, 3, 2)) * 0.4)
+        params = small_sdnet.parameters()
+        loss = laplace_residual_loss(small_sdnet, g, x, method="autograd")
+        grads = grad(loss, params)
+
+        # Check one scalar entry of one parameter with central differences.
+        target = params[2]
+        idx = (0, 0) if target.ndim == 2 else (0,)
+        eps = 1e-5
+        original = target.data[idx]
+        target.data[idx] = original + eps
+        plus = laplace_residual_loss(small_sdnet, g, x, method="autograd").item()
+        target.data[idx] = original - eps
+        minus = laplace_residual_loss(small_sdnet, g, x, method="autograd").item()
+        target.data[idx] = original
+        numeric = (plus - minus) / (2 * eps)
+        assert grads[2].data[idx] == pytest.approx(numeric, rel=1e-4, abs=1e-8)

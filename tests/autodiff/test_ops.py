@@ -1,0 +1,181 @@
+"""Gradient correctness of every primitive operation (finite differences)."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, gradcheck, ops
+
+
+def rand(shape, seed=0, scale=1.0, shift=0.0):
+    return Tensor(np.random.default_rng(seed).uniform(size=shape) * scale + shift)
+
+
+class TestElementwiseBinary:
+    def test_add(self):
+        assert gradcheck(lambda a, b: ops.sum(a + b), [rand((3, 4)), rand((3, 4), 1)])
+
+    def test_add_broadcast(self):
+        assert gradcheck(lambda a, b: ops.sum(a + b), [rand((3, 4)), rand((4,), 1)])
+
+    def test_sub(self):
+        assert gradcheck(lambda a, b: ops.sum(a - b), [rand((2, 3)), rand((2, 3), 1)])
+
+    def test_mul(self):
+        assert gradcheck(lambda a, b: ops.sum(a * b), [rand((3, 3)), rand((3, 3), 1)])
+
+    def test_mul_broadcast_scalar(self):
+        assert gradcheck(lambda a: ops.sum(a * 3.5), [rand((3, 3))])
+
+    def test_div(self):
+        assert gradcheck(
+            lambda a, b: ops.sum(a / b), [rand((3, 3)), rand((3, 3), 1, shift=0.5)]
+        )
+
+    def test_values_match_numpy(self):
+        a, b = rand((2, 2)), rand((2, 2), 5, shift=0.5)
+        assert np.allclose((a + b).data, a.data + b.data)
+        assert np.allclose((a - b).data, a.data - b.data)
+        assert np.allclose((a * b).data, a.data * b.data)
+        assert np.allclose((a / b).data, a.data / b.data)
+
+    def test_reverse_operators(self):
+        a = rand((2, 2))
+        assert np.allclose((2.0 + a).data, 2.0 + a.data)
+        assert np.allclose((2.0 - a).data, 2.0 - a.data)
+        assert np.allclose((2.0 * a).data, 2.0 * a.data)
+        assert np.allclose((2.0 / (a + 1.0)).data, 2.0 / (a.data + 1.0))
+
+
+class TestElementwiseUnary:
+    @pytest.mark.parametrize(
+        "fn",
+        [ops.neg, ops.exp, ops.tanh, ops.erf, ops.sin, ops.cos, ops.abs, ops.maximum_zero],
+    )
+    def test_unary_gradients(self, fn):
+        x = rand((4, 3), seed=2, scale=2.0, shift=-1.0)
+        # Keep abs/relu away from the non-differentiable point.
+        x = Tensor(np.where(np.abs(x.data) < 0.05, 0.2, x.data))
+        assert gradcheck(lambda a: ops.sum(fn(a) * 1.3), [x])
+
+    def test_pow_gradient(self):
+        assert gradcheck(lambda a: ops.sum(ops.pow(a, 3.0)), [rand((3, 3), shift=0.2)])
+
+    def test_log_and_sqrt(self):
+        x = rand((3, 3), shift=0.5)
+        assert gradcheck(lambda a: ops.sum(ops.log(a)), [x])
+        assert gradcheck(lambda a: ops.sum(ops.sqrt(a)), [x])
+
+    def test_erf_values(self):
+        from scipy.special import erf as scipy_erf
+
+        x = rand((5,))
+        assert np.allclose(ops.erf(x).data, scipy_erf(x.data))
+
+    def test_clip_gradient_is_zero_outside(self):
+        from repro.autodiff import grad
+
+        x = Tensor(np.array([-2.0, 0.5, 3.0]), requires_grad=True)
+        y = ops.sum(ops.clip(x, 0.0, 1.0))
+        (g,) = grad(y, [x])
+        assert np.allclose(g.data, [0.0, 1.0, 0.0])
+
+    def test_where_mask(self):
+        from repro.autodiff import grad
+
+        mask = np.array([True, False, True])
+        a = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        b = Tensor(np.array([10.0, 20.0, 30.0]), requires_grad=True)
+        y = ops.sum(ops.where_mask(mask, a, b))
+        ga, gb = grad(y, [a, b])
+        assert np.allclose(ga.data, [1.0, 0.0, 1.0])
+        assert np.allclose(gb.data, [0.0, 1.0, 0.0])
+
+
+class TestLinalgAndReductions:
+    def test_matmul_gradients(self):
+        assert gradcheck(
+            lambda a, b: ops.sum(ops.matmul(a, b)), [rand((3, 4)), rand((4, 2), 1)]
+        )
+
+    def test_batched_matmul_gradients(self):
+        assert gradcheck(
+            lambda a, b: ops.sum(ops.matmul(a, b)),
+            [rand((2, 3, 4)), rand((4, 5), 1)],
+        )
+
+    def test_matmul_rejects_vectors(self):
+        with pytest.raises(ValueError):
+            ops.matmul(rand((3,)), rand((3, 2)))
+
+    def test_sum_axis_variants(self):
+        x = rand((3, 4, 5))
+        assert ops.sum(x).shape == ()
+        assert ops.sum(x, axis=1).shape == (3, 5)
+        assert ops.sum(x, axis=(0, 2)).shape == (4,)
+        assert ops.sum(x, axis=1, keepdims=True).shape == (3, 1, 5)
+
+    def test_sum_gradients(self):
+        assert gradcheck(lambda a: ops.sum(ops.sum(a, axis=0) * 2.0), [rand((3, 4))])
+        assert gradcheck(
+            lambda a: ops.sum(ops.sum(a, axis=(0, 2), keepdims=True)), [rand((2, 3, 4))]
+        )
+
+    def test_mean_matches_numpy(self):
+        x = rand((4, 6))
+        assert np.allclose(ops.mean(x).data, x.data.mean())
+        assert np.allclose(ops.mean(x, axis=0).data, x.data.mean(axis=0))
+
+    def test_mean_gradient(self):
+        assert gradcheck(lambda a: ops.mean(a * a), [rand((5, 3))])
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_gradient(self):
+        assert gradcheck(
+            lambda a: ops.sum(ops.reshape(a, (6, 2)) * 2.0), [rand((3, 4))]
+        )
+
+    def test_transpose_gradient(self):
+        assert gradcheck(
+            lambda a: ops.sum(ops.transpose(a, (1, 2, 0)) * 1.5), [rand((2, 3, 4))]
+        )
+
+    def test_swapaxes(self):
+        x = rand((2, 3, 4))
+        assert ops.swapaxes(x, 0, 2).shape == (4, 3, 2)
+
+    def test_broadcast_to_gradient(self):
+        assert gradcheck(
+            lambda a: ops.sum(ops.broadcast_to(a, (4, 3)) * 2.0), [rand((1, 3))]
+        )
+
+    def test_concatenate_and_stack(self):
+        a, b = rand((2, 3)), rand((4, 3), 1)
+        assert ops.concatenate([a, b], axis=0).shape == (6, 3)
+        assert ops.stack([rand((2, 3)), rand((2, 3), 1)], axis=0).shape == (2, 2, 3)
+
+    def test_concatenate_gradient(self):
+        assert gradcheck(
+            lambda a, b: ops.sum(ops.concatenate([a, b], axis=1) ** 2.0),
+            [rand((2, 3)), rand((2, 2), 1)],
+        )
+
+    def test_pad_gradient(self):
+        assert gradcheck(
+            lambda a: ops.sum(ops.pad(a, ((1, 1), (2, 0))) * 3.0), [rand((2, 3))]
+        )
+
+    def test_getitem_slice_gradient(self):
+        assert gradcheck(lambda a: ops.sum(a[1:, :2] * 2.0), [rand((4, 4))])
+
+    def test_getitem_fancy_index_gradient(self):
+        idx = np.array([[0, 2], [1, 3]])
+        assert gradcheck(lambda a: ops.sum(a[:, idx]), [rand((2, 5))])
+
+    def test_scatter_add_is_adjoint_of_getitem(self):
+        g = rand((2, 2))
+        idx = np.array([0, 3])
+        scattered = ops.scatter_add(g, (slice(None), idx), (2, 5))
+        assert scattered.shape == (2, 5)
+        assert np.allclose(scattered.data[:, idx], g.data)
+        assert np.allclose(np.delete(scattered.data, idx, axis=1), 0.0)

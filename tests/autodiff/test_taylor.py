@@ -1,0 +1,85 @@
+"""Forward Taylor-mode second derivatives vs. nested reverse mode."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, grad, ops
+from repro.autodiff.taylor import TaylorTriple, taylor_constant, taylor_seed
+from repro.nn import GELU, Tanh
+
+
+class TestTaylorTripleAlgebra:
+    def test_addition_of_triples(self):
+        a = taylor_seed(Tensor(np.array([1.0, 2.0])), np.array([1.0, 1.0]))
+        b = taylor_constant(Tensor(np.array([3.0, 4.0])))
+        c = a + b
+        assert np.allclose(c.value.data, [4.0, 6.0])
+        assert np.allclose(c.d1.data, [1.0, 1.0])
+        assert np.allclose(c.d2.data, [0.0, 0.0])
+
+    def test_product_rule_second_order(self):
+        # f = t^2 along direction 1 seeded at value t: (t*t) -> d1=2t, d2=2.
+        t = np.array([0.7, -1.2])
+        x = taylor_seed(Tensor(t), np.array(1.0))
+        prod = x * x
+        assert np.allclose(prod.d1.data, 2 * t)
+        assert np.allclose(prod.d2.data, 2.0)
+
+    def test_scalar_multiplication(self):
+        x = taylor_seed(Tensor(np.array([2.0])), np.array(1.0))
+        y = 3.0 * x
+        assert np.allclose(y.d1.data, [3.0])
+        assert np.allclose(y.d2.data, [0.0])
+
+    def test_matmul_propagates_linearly(self):
+        W = Tensor(np.random.default_rng(0).normal(size=(3, 2)))
+        x = taylor_seed(Tensor(np.random.default_rng(1).normal(size=(4, 3))), np.array(1.0))
+        y = x.matmul(W)
+        assert y.value.shape == (4, 2)
+        assert np.allclose(y.d1.data, np.ones((4, 3)) @ W.data)
+        assert np.allclose(y.d2.data, 0.0)
+
+    @pytest.mark.parametrize("act", [GELU(), Tanh()])
+    def test_activation_chain_rule(self, act):
+        # phi(t^2): d2/dt^2 = phi''(t^2)*(2t)^2 + phi'(t^2)*2
+        t = 0.6
+        x = taylor_seed(Tensor(np.array([t])), np.array(1.0))
+        squared = x * x
+        out = squared.apply_activation(act.forward, act.derivative, act.second_derivative)
+        v = Tensor(np.array([t * t]))
+        expected = (
+            act.second_derivative(v).data * (2 * t) ** 2 + act.derivative(v).data * 2.0
+        )
+        assert np.allclose(out.d2.data, expected, rtol=1e-10)
+
+
+class TestTaylorVsAutograd:
+    def test_sdnet_laplacian_paths_agree(self, small_sdnet, rng):
+        g = Tensor(rng.normal(size=(3, small_sdnet.boundary_size)))
+        x = Tensor(rng.uniform(size=(3, 6, 2)) * 0.5)
+        lap_taylor = small_sdnet.laplacian(g, x, method="taylor")
+        lap_autograd = small_sdnet.laplacian(g, x, method="autograd")
+        assert np.allclose(lap_taylor.data, lap_autograd.data, atol=1e-12)
+
+    def test_parameter_gradients_agree_between_paths(self, small_sdnet, rng):
+        g = Tensor(rng.normal(size=(2, small_sdnet.boundary_size)))
+        x = Tensor(rng.uniform(size=(2, 4, 2)) * 0.5)
+        params = small_sdnet.parameters()
+
+        loss_t = ops.mean(small_sdnet.laplacian(g, x, method="taylor") ** 2.0)
+        grads_t = grad(loss_t, params)
+        loss_a = ops.mean(small_sdnet.laplacian(g, x, method="autograd") ** 2.0)
+        grads_a = grad(loss_a, params)
+        for gt, ga in zip(grads_t, grads_a):
+            assert np.allclose(gt.data, ga.data, atol=1e-10)
+
+    def test_taylor_graph_is_smaller_than_double_backward(self, small_sdnet, rng):
+        from repro.autodiff import GraphMemoryTracker
+
+        g = Tensor(rng.normal(size=(2, small_sdnet.boundary_size)))
+        x = Tensor(rng.uniform(size=(2, 16, 2)) * 0.5)
+        with GraphMemoryTracker() as taylor_tracker:
+            ops.mean(small_sdnet.laplacian(g, x, method="taylor") ** 2.0)
+        with GraphMemoryTracker() as autograd_tracker:
+            ops.mean(small_sdnet.laplacian(g, x, method="autograd") ** 2.0)
+        assert taylor_tracker.graph_bytes < autograd_tracker.graph_bytes

@@ -1,0 +1,126 @@
+"""Tests for the Tensor class, gradient modes and memory tracking."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    GraphMemoryTracker,
+    Tensor,
+    astensor,
+    enable_grad,
+    is_grad_enabled,
+    no_grad,
+    ops,
+)
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.dtype == np.float64
+        assert not t.requires_grad
+
+    def test_construction_from_array_casts_dtype(self):
+        t = Tensor(np.array([1, 2, 3], dtype=np.int32))
+        assert t.dtype == np.float64
+
+    def test_construction_from_tensor_shares_nothing_weird(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor(a)
+        assert np.allclose(a.data, b.data)
+
+    def test_scalar_item(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((4, 5)))
+        assert len(t) == 4
+        assert t.size == 20
+        assert t.ndim == 2
+
+    def test_detach_breaks_graph(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = (x * 2.0).detach()
+        assert not y.requires_grad
+        assert y.is_leaf
+
+    def test_copy_is_independent(self):
+        x = Tensor([1.0, 2.0])
+        y = x.copy()
+        y.data[0] = 99.0
+        assert x.data[0] == 1.0
+
+    def test_leaf_property(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x * 2.0
+        assert x.is_leaf
+        assert not y.is_leaf
+
+    def test_repr_contains_requires_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+
+class TestGradMode:
+    def test_default_enabled(self):
+        assert is_grad_enabled()
+
+    def test_no_grad_disables_tracking(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            y = x * 3.0
+        assert not y.requires_grad
+        assert y.is_leaf
+
+    def test_nested_grad_modes_restore(self):
+        with no_grad():
+            with enable_grad():
+                assert is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_grad_mode_is_exception_safe(self):
+        try:
+            with no_grad():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert is_grad_enabled()
+
+
+class TestAstensor:
+    def test_passthrough(self):
+        t = Tensor([1.0])
+        assert astensor(t) is t
+
+    def test_wraps_scalars_and_lists(self):
+        assert astensor(2.0).shape == ()
+        assert astensor([1.0, 2.0]).shape == (2,)
+
+
+class TestGraphMemoryTracker:
+    def test_records_graph_tensors_only_when_grad_needed(self):
+        with GraphMemoryTracker() as tracker:
+            a = Tensor(np.ones(100))
+            b = a * 2.0  # no requires_grad anywhere -> not recorded
+        assert tracker.graph_bytes == 0
+
+        with GraphMemoryTracker() as tracker:
+            a = Tensor(np.ones(100), requires_grad=True)
+            b = a * 2.0
+            c = b + 1.0
+        assert tracker.graph_bytes >= 2 * 100 * 8
+        assert tracker.tensor_count >= 2
+
+    def test_pde_loss_graph_is_larger(self, small_sdnet, rng):
+        from repro.pde.losses import PinnLoss
+
+        g = Tensor(rng.normal(size=(2, small_sdnet.boundary_size)))
+        x = Tensor(rng.uniform(size=(2, 8, 2)))
+        u = Tensor(rng.normal(size=(2, 8)))
+        with GraphMemoryTracker() as without:
+            PinnLoss(use_pde_loss=False)(small_sdnet, g, x, u, None)
+        with GraphMemoryTracker() as with_pde:
+            PinnLoss(use_pde_loss=True)(small_sdnet, g, x, u, x)
+        assert with_pde.graph_bytes > without.graph_bytes

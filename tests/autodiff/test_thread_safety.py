@@ -1,0 +1,70 @@
+"""Thread-safety of the gradient mode.
+
+The simulated cluster runs each rank in its own thread; one rank entering
+``no_grad`` (inference) or the graph-free part of a reverse sweep must not
+disable recording for another rank that is concurrently building a graph.
+This is a regression test for a race that produced silently wrong gradients
+in multi-rank data-parallel training.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.autodiff import Tensor, grad, no_grad, ops
+from repro.distributed import ReduceOp, run_spmd
+
+
+def _loss_and_grad(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    w = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+    x = Tensor(rng.normal(size=(8, 6)))
+    # Interleave graph-building work with no_grad sections, as the trainer does.
+    with no_grad():
+        _ = ops.matmul(x, w)
+    loss = ops.sum(ops.tanh(ops.matmul(x, w)) ** 2.0)
+    (gw,) = grad(loss, [w])
+    return gw.data
+
+
+class TestGradModeIsThreadLocal:
+    def test_concurrent_backward_matches_serial(self):
+        serial = {seed: _loss_and_grad(seed) for seed in range(4)}
+
+        results: dict[int, np.ndarray] = {}
+        barrier = threading.Barrier(4)
+
+        def worker(seed: int) -> None:
+            barrier.wait()
+            for _ in range(5):
+                results[seed] = _loss_and_grad(seed)
+
+        threads = [threading.Thread(target=worker, args=(seed,)) for seed in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for seed in range(4):
+            assert np.allclose(results[seed], serial[seed])
+
+    def test_no_grad_in_one_rank_does_not_leak_into_another(self):
+        expected = _loss_and_grad(0)
+
+        def program(comm):
+            # Rank 1 spends its time inside no_grad (pure inference);
+            # rank 0 computes gradients concurrently.
+            if comm.rank == 1:
+                rng = np.random.default_rng(1)
+                with no_grad():
+                    for _ in range(200):
+                        a = Tensor(rng.normal(size=(16, 16)))
+                        ops.sum(ops.tanh(ops.matmul(a, a)))
+                local = np.zeros_like(expected)
+            else:
+                local = _loss_and_grad(0)
+            total = comm.allreduce(local, op=ReduceOp.SUM)
+            return total
+
+        results = run_spmd(2, program)
+        for total in results:
+            assert np.allclose(total, expected)

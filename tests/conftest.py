@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite.
+
+The fixtures build intentionally tiny instances (small grids, small networks,
+few samples) so the full suite runs in seconds while still exercising every
+code path of the reproduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import generate_dataset
+from repro.fd import Grid2D
+from repro.models import ConcatSolver, SDNet
+from repro.mosaic import FDSubdomainSolver, MosaicGeometry
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_grid() -> Grid2D:
+    """A 9x9 grid on a 0.5 x 0.5 domain (tiny version of the training grid)."""
+
+    return Grid2D(9, 9, extent=(0.5, 0.5))
+
+
+@pytest.fixture(scope="session")
+def small_sdnet(small_grid) -> SDNet:
+    return SDNet(
+        boundary_size=small_grid.boundary_size,
+        hidden_size=16,
+        trunk_layers=2,
+        embedding_channels=(2,),
+        rng=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_concat_solver(small_grid) -> ConcatSolver:
+    return ConcatSolver(
+        boundary_size=small_grid.boundary_size, hidden_size=16, trunk_layers=2, rng=7
+    )
+
+
+@pytest.fixture(scope="session")
+def small_geometry() -> MosaicGeometry:
+    """2x2-subdomain Mosaic geometry with 9-point subdomains."""
+
+    return MosaicGeometry(subdomain_points=9, subdomain_extent=0.5, steps_x=4, steps_y=4)
+
+
+@pytest.fixture(scope="session")
+def fd_subdomain_solver(small_geometry) -> FDSubdomainSolver:
+    return FDSubdomainSolver(small_geometry.subdomain_grid(), method="direct")
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A 16-sample SDNet dataset on a 9x9 grid (session-scoped: generated once)."""
+
+    return generate_dataset(num_samples=16, resolution=9, extent=(0.5, 0.5), seed=3)

@@ -1,0 +1,180 @@
+"""Gaussian-process boundary generation and SDNet dataset construction."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BatchIterator,
+    GaussianProcessSampler,
+    GPBoundaryConfig,
+    SDNetDataset,
+    generate_dataset,
+    periodic_kernel,
+    sample_kernel_hyperparameters,
+    squared_exponential_kernel,
+)
+from repro.fd import apply_laplacian
+
+
+class TestKernels:
+    def test_rbf_diagonal_is_variance(self):
+        s = np.linspace(0, 1, 10)
+        K = squared_exponential_kernel(s, s, lengthscale=0.3, variance=2.0)
+        assert np.allclose(np.diag(K), 2.0)
+        assert np.all(K > 0) and np.allclose(K, K.T)
+
+    def test_rbf_decays_with_distance(self):
+        s = np.array([0.0, 0.1, 5.0])
+        K = squared_exponential_kernel(s, s, 0.5, 1.0)
+        assert K[0, 1] > K[0, 2]
+
+    def test_periodic_kernel_wraps(self):
+        s = np.array([0.0, 0.1, 1.9])
+        K = periodic_kernel(s, s, lengthscale=1.0, variance=1.0, period=2.0)
+        # 1.9 is close to 0.0 modulo the period
+        assert K[0, 2] == pytest.approx(K[0, 1], rel=1e-6)
+
+    def test_invalid_hyperparameters(self):
+        s = np.zeros(3)
+        with pytest.raises(ValueError):
+            squared_exponential_kernel(s, s, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            periodic_kernel(s, s, 1.0, 1.0, 0.0)
+
+
+class TestHyperparameterSampling:
+    def test_sobol_samples_within_ranges(self):
+        config = GPBoundaryConfig(lengthscale_range=(0.1, 1.0), variance_range=(0.5, 2.0))
+        hypers = sample_kernel_hyperparameters(64, config, seed=0)
+        assert hypers.shape == (64, 2)
+        assert np.all((hypers[:, 0] >= 0.1) & (hypers[:, 0] <= 1.0))
+        assert np.all((hypers[:, 1] >= 0.5) & (hypers[:, 1] <= 2.0))
+
+    def test_seeded_reproducibility(self):
+        config = GPBoundaryConfig()
+        assert np.array_equal(
+            sample_kernel_hyperparameters(16, config, seed=3),
+            sample_kernel_hyperparameters(16, config, seed=3),
+        )
+
+
+class TestGaussianProcessSampler:
+    def test_sample_shapes_and_determinism(self):
+        sampler = GaussianProcessSampler(boundary_size=32, perimeter=2.0, seed=5)
+        curves = sampler.sample(8)
+        assert curves.shape == (8, 32)
+        sampler2 = GaussianProcessSampler(boundary_size=32, perimeter=2.0, seed=5)
+        assert np.allclose(curves, sampler2.sample(8))
+
+    def test_periodic_curves_close_smoothly(self):
+        sampler = GaussianProcessSampler(
+            boundary_size=64,
+            perimeter=2.0,
+            config=GPBoundaryConfig(periodic=True, lengthscale_range=(0.5, 1.0)),
+            seed=1,
+        )
+        curve = sampler.sample_one()
+        # wrap-around jump must be comparable to a typical neighbouring jump
+        jumps = np.abs(np.diff(curve))
+        wrap = abs(curve[0] - curve[-1])
+        assert wrap < 5 * jumps.mean() + 1e-8
+
+    def test_curves_differ_across_draws(self):
+        sampler = GaussianProcessSampler(boundary_size=16, seed=0)
+        curves = sampler.sample(4)
+        assert np.std(curves, axis=0).max() > 1e-3
+
+    def test_boundary_size_validation(self):
+        with pytest.raises(ValueError):
+            GaussianProcessSampler(boundary_size=2)
+
+
+class TestDatasetGeneration:
+    def test_generate_dataset_contents(self, tiny_dataset):
+        assert len(tiny_dataset) == 16
+        assert tiny_dataset.boundaries.shape == (16, tiny_dataset.grid.boundary_size)
+        assert tiny_dataset.solutions.shape == (16,) + tiny_dataset.grid.shape
+
+    def test_solutions_are_discrete_harmonic(self, tiny_dataset):
+        residual = apply_laplacian(tiny_dataset.grid, tiny_dataset.solutions[0])
+        assert np.max(np.abs(residual)) < 1e-8
+
+    def test_solutions_match_boundaries(self, tiny_dataset):
+        # The boundary loop visits each corner twice with (slightly) different
+        # GP samples; the solver keeps the canonical (last-written) value, so
+        # compare against the canonicalized loop rather than the raw samples.
+        grid = tiny_dataset.grid
+        canonical = grid.extract_boundary(grid.insert_boundary(tiny_dataset.boundaries[3]))
+        extracted = grid.extract_boundary(tiny_dataset.solutions[3])
+        assert np.allclose(extracted, canonical)
+
+    def test_split_fractions_and_disjointness(self, tiny_dataset):
+        train, val = tiny_dataset.split(validation_fraction=0.25, seed=0)
+        assert len(train) == 12 and len(val) == 4
+        # No boundary appears in both splits.
+        for vb in val.boundaries:
+            assert not any(np.allclose(vb, tb) for tb in train.boundaries)
+
+    def test_split_validation(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            tiny_dataset.split(validation_fraction=1.5)
+
+    def test_shape_validation(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            SDNetDataset(tiny_dataset.grid, tiny_dataset.boundaries[:, :-2], tiny_dataset.solutions)
+
+    def test_generate_is_deterministic(self):
+        a = generate_dataset(num_samples=4, resolution=9, seed=11)
+        b = generate_dataset(num_samples=4, resolution=9, seed=11)
+        assert np.allclose(a.boundaries, b.boundaries)
+        assert np.allclose(a.solutions, b.solutions)
+
+
+class TestBatchIterator:
+    def test_batch_shapes(self, tiny_dataset):
+        iterator = BatchIterator(tiny_dataset, batch_size=4, data_points_per_domain=10,
+                                 collocation_points_per_domain=6, seed=0)
+        batch = next(iter(iterator))
+        assert batch.size == 4
+        assert batch.boundaries.shape == (4, tiny_dataset.grid.boundary_size)
+        assert batch.x_data.shape == (4, 10, 2)
+        assert batch.u_data.shape == (4, 10)
+        assert batch.x_collocation.shape == (4, 6, 2)
+        assert len(iterator) == 4
+
+    def test_data_points_carry_true_solution_values(self, tiny_dataset):
+        iterator = BatchIterator(tiny_dataset, batch_size=2, data_points_per_domain=8, seed=1)
+        batch = next(iter(iterator))
+        grid = tiny_dataset.grid
+        for row in range(batch.size):
+            solution = tiny_dataset.solutions[batch.indices[row]]
+            cols = np.rint(batch.x_data[row, :, 0] / grid.hx).astype(int)
+            rows = np.rint(batch.x_data[row, :, 1] / grid.hy).astype(int)
+            assert np.allclose(batch.u_data[row], solution[rows, cols])
+
+    def test_rank_sharding_partitions_each_global_batch(self, tiny_dataset):
+        full = BatchIterator(tiny_dataset, batch_size=4, seed=2, rank=0, world_size=1)
+        shard0 = BatchIterator(tiny_dataset, batch_size=4, seed=2, rank=0, world_size=2)
+        shard1 = BatchIterator(tiny_dataset, batch_size=4, seed=2, rank=1, world_size=2)
+        for epoch in range(2):
+            for it in (full, shard0, shard1):
+                it.set_epoch(epoch)
+            for b_full, b0, b1 in zip(full, shard0, shard1):
+                combined = np.concatenate([b0.indices, b1.indices])
+                assert np.array_equal(np.sort(combined), np.sort(b_full.indices))
+
+    def test_epoch_changes_shuffle_order(self, tiny_dataset):
+        iterator = BatchIterator(tiny_dataset, batch_size=8, seed=0)
+        iterator.set_epoch(0)
+        first = [b.indices.copy() for b in iterator]
+        iterator.set_epoch(1)
+        second = [b.indices.copy() for b in iterator]
+        assert not all(np.array_equal(a, b) for a, b in zip(first, second))
+
+    def test_invalid_configuration(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            BatchIterator(tiny_dataset, batch_size=0)
+        with pytest.raises(ValueError):
+            BatchIterator(tiny_dataset, batch_size=5, world_size=2)
+        with pytest.raises(ValueError):
+            BatchIterator(tiny_dataset, batch_size=4, rank=3, world_size=2)

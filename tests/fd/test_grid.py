@@ -1,0 +1,106 @@
+"""Grid2D geometry, boundary loop conventions and subgrids."""
+
+import numpy as np
+import pytest
+
+from repro.fd import Grid2D, boundary_loop_indices
+
+
+class TestGridGeometry:
+    def test_spacing_and_shape(self):
+        grid = Grid2D(5, 9, extent=(1.0, 2.0), origin=(0.5, -1.0))
+        assert grid.shape == (9, 5)
+        assert grid.hx == pytest.approx(0.25)
+        assert grid.hy == pytest.approx(0.25)
+        assert grid.num_points == 45
+        assert grid.num_interior == 3 * 7
+
+    def test_coordinates(self):
+        grid = Grid2D(3, 3, extent=(2.0, 4.0), origin=(1.0, 1.0))
+        assert np.allclose(grid.x_coords(), [1.0, 2.0, 3.0])
+        assert np.allclose(grid.y_coords(), [1.0, 3.0, 5.0])
+        X, Y = grid.meshgrid()
+        assert X.shape == (3, 3)
+        assert X[0, 2] == pytest.approx(3.0) and Y[2, 0] == pytest.approx(5.0)
+
+    def test_points_ordering_row_major(self):
+        grid = Grid2D(3, 3)
+        points = grid.points()
+        assert points.shape == (9, 2)
+        assert np.allclose(points[1], [0.5, 0.0])   # second point moves along x
+        assert np.allclose(points[3], [0.0, 0.5])   # fourth point starts next row
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Grid2D(2, 5)
+        with pytest.raises(ValueError):
+            Grid2D(5, 5, extent=(0.0, 1.0))
+
+
+class TestBoundaryLoop:
+    def test_loop_length_and_corners_duplicated(self):
+        rows, cols = boundary_loop_indices(4, 3)
+        assert len(rows) == 2 * 4 + 2 * 3
+        # corner (0, 0) appears in the bottom edge and the left edge
+        corners = list(zip(rows.tolist(), cols.tolist()))
+        assert corners.count((0, 0)) == 2
+
+    def test_loop_covers_exactly_the_boundary(self):
+        grid = Grid2D(6, 5)
+        rows, cols = grid.boundary_indices()
+        mask = np.zeros(grid.shape, dtype=bool)
+        mask[rows, cols] = True
+        assert np.array_equal(mask, grid.boundary_mask())
+
+    def test_extract_insert_roundtrip(self):
+        grid = Grid2D(7, 6)
+        field = grid.field_from_function(lambda x, y: np.sin(x) + np.cos(y))
+        loop = grid.extract_boundary(field)
+        assert loop.shape == (grid.boundary_size,)
+        rebuilt = grid.insert_boundary(loop)
+        assert np.allclose(rebuilt[grid.boundary_mask()], field[grid.boundary_mask()])
+        assert np.allclose(rebuilt[~grid.boundary_mask()], 0.0)
+
+    def test_insert_into_existing_field(self):
+        grid = Grid2D(5, 5)
+        base = np.full(grid.shape, 7.0)
+        loop = np.zeros(grid.boundary_size)
+        out = grid.insert_boundary(loop, base)
+        assert np.allclose(out[grid.boundary_mask()], 0.0)
+        assert np.allclose(out[~grid.boundary_mask()], 7.0)
+        assert np.allclose(base, 7.0)  # original untouched
+
+    def test_boundary_from_function_matches_extract(self):
+        grid = Grid2D(6, 8, extent=(2.0, 1.0))
+        fn = lambda x, y: x ** 2 - 3 * y
+        field = grid.field_from_function(fn)
+        assert np.allclose(grid.boundary_from_function(fn), grid.extract_boundary(field))
+
+    def test_boundary_coordinates_order(self):
+        grid = Grid2D(3, 3, extent=(1.0, 1.0))
+        coords = grid.boundary_coordinates()
+        # first sample is the lower-left corner, traversing the bottom edge first
+        assert np.allclose(coords[0], [0.0, 0.0])
+        assert np.allclose(coords[2], [1.0, 0.0])
+
+    def test_wrong_sizes_raise(self):
+        grid = Grid2D(5, 5)
+        with pytest.raises(ValueError):
+            grid.extract_boundary(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            grid.insert_boundary(np.zeros(7))
+
+
+class TestSubgrid:
+    def test_subgrid_shares_spacing_and_origin(self):
+        grid = Grid2D(9, 9, extent=(2.0, 2.0), origin=(1.0, 1.0))
+        sub = grid.subgrid(2, 4, 5, 3)
+        assert sub.shape == (5, 3)
+        assert sub.hx == pytest.approx(grid.hx)
+        assert sub.origin[0] == pytest.approx(1.0 + 4 * grid.hx)
+        assert sub.origin[1] == pytest.approx(1.0 + 2 * grid.hy)
+
+    def test_out_of_range_window(self):
+        grid = Grid2D(5, 5)
+        with pytest.raises(ValueError):
+            grid.subgrid(3, 3, 4, 4)

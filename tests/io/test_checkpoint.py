@@ -1,0 +1,61 @@
+"""Checkpoint save / load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.io import load_model, load_sdnet, load_state, save_checkpoint
+from repro.models import ConcatSolver, SDNet
+
+
+class TestSaveLoad:
+    def test_roundtrip_into_existing_model(self, tmp_path, small_sdnet, rng):
+        path = save_checkpoint(small_sdnet, tmp_path / "sdnet")
+        assert path.suffix == ".npz" and path.exists()
+
+        clone = SDNet(
+            boundary_size=small_sdnet.boundary_size,
+            hidden_size=small_sdnet.hidden_size,
+            trunk_layers=2,
+            embedding_channels=(2,),
+            rng=999,
+        )
+        load_model(path, clone)
+        g = rng.normal(size=(2, small_sdnet.boundary_size))
+        x = rng.uniform(size=(2, 4, 2))
+        assert np.allclose(clone.predict(g, x), small_sdnet.predict(g, x))
+
+    def test_reconstruct_sdnet_from_config(self, tmp_path, small_sdnet, rng):
+        path = save_checkpoint(small_sdnet, tmp_path / "lib" / "laplace.npz")
+        rebuilt = load_sdnet(path)
+        assert rebuilt.boundary_size == small_sdnet.boundary_size
+        g = rng.normal(size=(1, small_sdnet.boundary_size))
+        x = rng.uniform(size=(1, 3, 2))
+        assert np.allclose(rebuilt.predict(g, x), small_sdnet.predict(g, x))
+
+    def test_override_on_reconstruction(self, tmp_path, small_sdnet):
+        path = save_checkpoint(small_sdnet, tmp_path / "sdnet.npz")
+        state, config, class_name = load_state(path)
+        assert class_name == "SDNet"
+        assert config["hidden_size"] == small_sdnet.hidden_size
+        assert set(state) == set(dict(small_sdnet.named_parameters()))
+
+    def test_wrong_class_rejected(self, tmp_path, small_concat_solver):
+        path = save_checkpoint(small_concat_solver, tmp_path / "baseline.npz",
+                               config={"hidden_size": 16})
+        with pytest.raises(ValueError):
+            load_sdnet(path)
+
+    def test_missing_config_rejected(self, tmp_path, small_sdnet):
+        path = save_checkpoint(small_sdnet, tmp_path / "noconf.npz", config={})
+        # explicit empty config -> reconstruction impossible
+        with pytest.raises(ValueError):
+            load_sdnet(path)
+
+    def test_concat_solver_roundtrip_via_load_model(self, tmp_path, small_concat_solver, rng):
+        path = save_checkpoint(small_concat_solver, tmp_path / "concat.npz")
+        clone = ConcatSolver(boundary_size=small_concat_solver.boundary_size,
+                             hidden_size=16, trunk_layers=2, rng=5)
+        load_model(path, clone)
+        g = rng.normal(size=(1, small_concat_solver.boundary_size))
+        x = rng.uniform(size=(1, 3, 2))
+        assert np.allclose(clone.predict(g, x), small_concat_solver.predict(g, x))

@@ -1,0 +1,142 @@
+"""SDNet architecture, baseline solver and boundary embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, no_grad
+from repro.models import (
+    ConcatSolver,
+    ConvBoundaryEmbedding,
+    IdentityBoundaryEmbedding,
+    SDNet,
+    normalize_inputs,
+)
+
+
+class TestNormalizeInputs:
+    def test_batched_passthrough(self):
+        g, x, batched = normalize_inputs(np.zeros((3, 8)), np.zeros((3, 5, 2)))
+        assert batched and g.shape == (3, 8) and x.shape == (3, 5, 2)
+
+    def test_single_instance_promotion(self):
+        g, x, batched = normalize_inputs(np.zeros(8), np.zeros((5, 2)))
+        assert not batched and g.shape == (1, 8) and x.shape == (1, 5, 2)
+
+    def test_shared_points_broadcast_over_boundaries(self):
+        g, x, batched = normalize_inputs(np.zeros((4, 8)), np.zeros((5, 2)))
+        assert batched and x.shape == (4, 5, 2)
+
+    def test_batch_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            normalize_inputs(np.zeros((3, 8)), np.zeros((2, 5, 2)))
+
+
+class TestBoundaryEmbeddings:
+    def test_identity_embedding_shape(self):
+        emb = IdentityBoundaryEmbedding(16)
+        out = emb(Tensor(np.random.default_rng(0).normal(size=(3, 16))))
+        assert out.shape == (3, 16)
+        assert emb.output_size == 16
+
+    def test_conv_embedding_shape(self):
+        emb = ConvBoundaryEmbedding(20, channels=(3, 2), kernel_size=5)
+        out = emb(Tensor(np.random.default_rng(0).normal(size=(4, 20))))
+        assert out.shape == (4, emb.output_size)
+        assert emb.output_size == 20 * 2
+
+    def test_conv_embedding_rejects_even_kernel(self):
+        with pytest.raises(ValueError):
+            ConvBoundaryEmbedding(20, kernel_size=4)
+
+    def test_conv_embedding_rejects_wrong_boundary_size(self):
+        emb = ConvBoundaryEmbedding(20)
+        with pytest.raises(ValueError):
+            emb(Tensor(np.zeros((2, 24))))
+
+    def test_embedding_is_translation_covariant_on_the_loop(self):
+        """Circular convolution: rotating the boundary rotates the features."""
+
+        emb = ConvBoundaryEmbedding(16, channels=(2,), kernel_size=3,
+                                    rng=np.random.default_rng(1))
+        g = np.random.default_rng(2).normal(size=16)
+        out = emb(Tensor(g[None, :])).data.reshape(2, 16)
+        out_rolled = emb(Tensor(np.roll(g, 4)[None, :])).data.reshape(2, 16)
+        assert np.allclose(np.roll(out, 4, axis=1), out_rolled, atol=1e-12)
+
+
+class TestSDNet:
+    def test_forward_shapes(self, small_sdnet, rng):
+        g = Tensor(rng.normal(size=(3, small_sdnet.boundary_size)))
+        x = Tensor(rng.uniform(size=(3, 5, 2)))
+        assert small_sdnet(g, x).shape == (3, 5)
+        assert small_sdnet(g.data[0], x.data[0]).shape == (5,)
+
+    def test_unbatched_matches_batched(self, small_sdnet, rng):
+        g = rng.normal(size=(2, small_sdnet.boundary_size))
+        x = rng.uniform(size=(2, 4, 2))
+        batched = small_sdnet(Tensor(g), Tensor(x)).data
+        single = small_sdnet(Tensor(g[1]), Tensor(x[1])).data
+        assert np.allclose(batched[1], single)
+
+    def test_predict_returns_numpy_without_graph(self, small_sdnet, rng):
+        g = rng.normal(size=(2, small_sdnet.boundary_size))
+        x = rng.uniform(size=(2, 4, 2))
+        out = small_sdnet.predict(g, x)
+        assert isinstance(out, np.ndarray)
+        assert out.shape == (2, 4)
+
+    def test_embedding_reuse_gives_same_answer(self, small_sdnet, rng):
+        g = Tensor(rng.normal(size=(2, small_sdnet.boundary_size)))
+        x = Tensor(rng.uniform(size=(2, 4, 2)))
+        with no_grad():
+            direct = small_sdnet(g, x).data
+            embedded = small_sdnet.forward_from_embedding(small_sdnet.embed_boundary(g), x).data
+        assert np.allclose(direct, embedded)
+
+    def test_identical_seeds_give_identical_models(self, small_grid):
+        a = SDNet(boundary_size=small_grid.boundary_size, hidden_size=8, trunk_layers=1, rng=3)
+        b = SDNet(boundary_size=small_grid.boundary_size, hidden_size=8, trunk_layers=1, rng=3)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert np.array_equal(pa.data, pb.data)
+
+    def test_no_embedding_variant(self, small_grid):
+        net = SDNet(
+            boundary_size=small_grid.boundary_size,
+            hidden_size=8,
+            trunk_layers=1,
+            embedding_channels=(),
+            rng=0,
+        )
+        g = np.random.default_rng(0).normal(size=(2, small_grid.boundary_size))
+        x = np.random.default_rng(1).uniform(size=(2, 3, 2))
+        assert net(Tensor(g), Tensor(x)).shape == (2, 3)
+
+    def test_laplacian_method_validation(self, small_sdnet, rng):
+        g = rng.normal(size=(1, small_sdnet.boundary_size))
+        x = rng.uniform(size=(1, 2, 2))
+        with pytest.raises(ValueError):
+            small_sdnet.laplacian(g, x, method="magic")
+
+    def test_config_roundtrip(self, small_sdnet):
+        cfg = small_sdnet.config()
+        assert cfg["boundary_size"] == small_sdnet.boundary_size
+        assert cfg["activation"] == "gelu"
+
+
+class TestConcatBaseline:
+    def test_forward_shape_and_unbatched(self, small_concat_solver, rng):
+        g = rng.normal(size=(2, small_concat_solver.boundary_size))
+        x = rng.uniform(size=(2, 6, 2))
+        out = small_concat_solver(Tensor(g), Tensor(x))
+        assert out.shape == (2, 6)
+        assert small_concat_solver(Tensor(g[0]), Tensor(x[0])).shape == (6,)
+
+    def test_laplacian_available_via_autograd(self, small_concat_solver, rng):
+        g = rng.normal(size=(1, small_concat_solver.boundary_size))
+        x = rng.uniform(size=(1, 3, 2))
+        lap = small_concat_solver.laplacian(Tensor(g), Tensor(x))
+        assert lap.shape == (1, 3)
+
+    def test_input_words_formula(self, small_concat_solver):
+        q = 100
+        assert small_concat_solver.input_words(q) == q * (small_concat_solver.boundary_size + 2)

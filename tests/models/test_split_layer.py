@@ -1,0 +1,88 @@
+"""The split-layer optimization (eq. 8) must equal the input-concat form (eq. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, grad, ops
+from repro.models import SplitLayer
+from repro.nn import GELU
+
+
+class TestSplitLayerEquivalence:
+    def test_matches_concat_formulation_exactly(self):
+        rng = np.random.default_rng(0)
+        layer = SplitLayer(boundary_features=12, coord_features=2, out_features=8, rng=rng)
+        g = rng.normal(size=(3, 12))
+        x = rng.uniform(size=(3, 7, 2))
+
+        out = layer(Tensor(g), Tensor(x)).data
+
+        # Input-concat reference: replicate g for every point and multiply by [W1 | W2].
+        W = layer.as_concat_weight()                      # (8, 14)
+        bias = layer.boundary_proj.bias.data
+        act = GELU()
+        concat = np.concatenate(
+            [np.broadcast_to(g[:, None, :], (3, 7, 12)), x], axis=2
+        )
+        expected = act(Tensor(concat @ W.T + bias)).data
+        assert np.allclose(out, expected, atol=1e-12)
+
+    def test_boundary_projection_computed_once_is_consistent_across_q(self):
+        rng = np.random.default_rng(1)
+        layer = SplitLayer(10, 2, 6, rng=rng)
+        g = Tensor(rng.normal(size=(2, 10)))
+        x_small = Tensor(rng.uniform(size=(2, 3, 2)))
+        x_large = Tensor(np.concatenate([x_small.data, rng.uniform(size=(2, 5, 2))], axis=1))
+        out_small = layer(g, x_small).data
+        out_large = layer(g, x_large).data
+        assert np.allclose(out_large[:, :3, :], out_small)
+
+    def test_input_shape_validation(self):
+        layer = SplitLayer(10, 2, 6)
+        with pytest.raises(ValueError):
+            layer(Tensor(np.zeros(10)), Tensor(np.zeros((1, 3, 2))))
+        with pytest.raises(ValueError):
+            layer(Tensor(np.zeros((1, 10))), Tensor(np.zeros((3, 2))))
+
+    def test_gradients_flow_through_both_blocks(self):
+        rng = np.random.default_rng(2)
+        layer = SplitLayer(6, 2, 4, rng=rng)
+        g = Tensor(rng.normal(size=(2, 6)))
+        x = Tensor(rng.uniform(size=(2, 4, 2)))
+        loss = ops.sum(layer(g, x) ** 2.0)
+        grads = grad(loss, [layer.boundary_proj.weight, layer.coord_proj.weight])
+        assert all(np.any(gr.data != 0) for gr in grads)
+
+    def test_taylor_forward_value_matches_forward(self):
+        from repro.autodiff.taylor import taylor_seed
+
+        rng = np.random.default_rng(3)
+        layer = SplitLayer(6, 2, 4, rng=rng)
+        g = Tensor(rng.normal(size=(2, 6)))
+        x = rng.uniform(size=(2, 4, 2))
+        triple = taylor_seed(Tensor(x), np.array([1.0, 0.0]))
+        out = layer.taylor_forward(g, triple)
+        assert np.allclose(out.value.data, layer(g, Tensor(x)).data, atol=1e-12)
+
+
+class TestCostAnalysis:
+    """The memory analysis of Section 3.2: split removes the replicated boundary."""
+
+    def test_input_word_counts(self):
+        # Input-concat: q (4N + 2) words.  Split: 4N + 2q words.
+        boundary = 4 * 32
+        for q in (10, 1000, 50_000):
+            concat_words = q * (boundary + 2)
+            split_words = boundary + 2 * q
+            assert split_words < concat_words
+        # The ratio grows with N for fixed q.
+        assert (1000 * (4 * 256 + 2)) / (4 * 256 + 2 * 1000) > (
+            1000 * (4 * 32 + 2)
+        ) / (4 * 32 + 2 * 1000)
+
+    def test_flop_model_ordering(self):
+        from repro.perfmodel import concat_first_layer_flops, sdnet_first_layer_flops
+
+        assert sdnet_first_layer_flops(128, 64, 10_000) < concat_first_layer_flops(
+            128, 64, 10_000
+        )

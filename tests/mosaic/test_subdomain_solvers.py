@@ -1,0 +1,74 @@
+"""FD and SDNet subdomain solvers behind the common predict() interface."""
+
+import numpy as np
+import pytest
+
+from repro.mosaic import FDSubdomainSolver, SDNetSubdomainSolver
+from repro.mosaic.solvers import SubdomainSolver
+from repro.pde import HARMONIC_FUNCTIONS
+
+
+class TestFDSubdomainSolver:
+    def test_protocol_conformance(self, fd_subdomain_solver):
+        assert isinstance(fd_subdomain_solver, SubdomainSolver)
+
+    def test_exactness_on_harmonic_boundary(self, small_geometry):
+        solver = FDSubdomainSolver(small_geometry.subdomain_grid())
+        grid = small_geometry.subdomain_grid()
+        exact = grid.field_from_function(HARMONIC_FUNCTIONS["saddle"])
+        loop = grid.extract_boundary(exact)
+        points = grid.interior_points()
+        prediction = solver.predict(loop[None, :], points)
+        assert prediction.shape == (1, points.shape[0])
+        assert np.max(np.abs(prediction[0] - exact[1:-1, 1:-1].ravel())) < 1e-12
+
+    def test_batch_of_boundaries(self, small_geometry, rng):
+        grid = small_geometry.subdomain_grid()
+        solver = FDSubdomainSolver(grid)
+        loops = rng.normal(size=(3, grid.boundary_size))
+        points = small_geometry.center_line_local_coordinates()
+        out = solver.predict(loops, points)
+        assert out.shape == (3, points.shape[0])
+        assert solver.inference_calls == 3
+
+    def test_rejects_off_grid_points(self, small_geometry):
+        solver = FDSubdomainSolver(small_geometry.subdomain_grid())
+        grid = small_geometry.subdomain_grid()
+        loops = np.zeros((1, grid.boundary_size))
+        with pytest.raises(ValueError):
+            solver.predict(loops, np.array([[grid.hx * 0.37, 0.0]]))
+        with pytest.raises(ValueError):
+            solver.predict(loops, np.array([[10.0, 0.0]]))
+
+    def test_rejects_wrong_boundary_shape(self, small_geometry):
+        solver = FDSubdomainSolver(small_geometry.subdomain_grid())
+        with pytest.raises(ValueError):
+            solver.predict(np.zeros((2, 7)), np.zeros((3, 2)))
+
+
+class TestSDNetSubdomainSolver:
+    def test_predictions_match_direct_model_call(self, small_sdnet, small_geometry, rng):
+        solver = SDNetSubdomainSolver(small_sdnet)
+        loops = rng.normal(size=(4, small_sdnet.boundary_size))
+        points = small_geometry.center_line_local_coordinates()
+        out = solver.predict(loops, points)
+        direct = small_sdnet.predict(loops, np.broadcast_to(points, (4,) + points.shape).copy())
+        assert np.allclose(out, direct)
+        assert solver.inference_calls == 1
+        assert solver.points_evaluated == 4 * points.shape[0]
+
+    def test_max_batch_splits_but_preserves_results(self, small_sdnet, small_geometry, rng):
+        loops = rng.normal(size=(5, small_sdnet.boundary_size))
+        points = small_geometry.center_line_local_coordinates()
+        full = SDNetSubdomainSolver(small_sdnet).predict(loops, points)
+        chunked_solver = SDNetSubdomainSolver(small_sdnet, max_batch=2)
+        chunked = chunked_solver.predict(loops, points)
+        assert np.allclose(full, chunked)
+        assert chunked_solver.inference_calls == 3
+
+    def test_input_validation(self, small_sdnet):
+        solver = SDNetSubdomainSolver(small_sdnet)
+        with pytest.raises(ValueError):
+            solver.predict(np.zeros((2, 5)), np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            solver.predict(np.zeros((2, small_sdnet.boundary_size)), np.zeros((3, 3)))

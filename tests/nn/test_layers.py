@@ -1,0 +1,184 @@
+"""Linear, Conv1d, MLP and activation layers."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, grad, gradcheck, ops
+from repro.nn import MLP, Conv1d, GELU, Identity, Linear, ReLU, Sine, Tanh, get_activation
+from repro.nn.init import kaiming_uniform, xavier_normal, xavier_uniform
+
+
+class TestLinear:
+    def test_forward_matches_manual(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4))
+        out = layer(Tensor(x))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(out.data, expected)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, bias=False)
+        assert layer.bias is None
+        x = Tensor(np.ones((2, 4)))
+        assert np.allclose(layer(x).data, np.ones((2, 4)) @ layer.weight.data.T)
+
+    def test_gradients(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(1))
+        x = Tensor(np.random.default_rng(2).normal(size=(4, 3)))
+
+        def fn(w, b):
+            layer.weight.data[...] = w.data
+            layer.bias.data[...] = b.data
+            return ops.sum(ops.tanh(ops.matmul(x, ops.transpose(w)) + b))
+
+        assert gradcheck(fn, [Tensor(layer.weight.data.copy()), Tensor(layer.bias.data.copy())])
+
+    def test_batched_input(self):
+        layer = Linear(3, 2)
+        out = layer(Tensor(np.ones((2, 5, 3))))
+        assert out.shape == (2, 5, 2)
+
+    def test_taylor_forward_matches_value(self):
+        from repro.autodiff.taylor import taylor_seed
+
+        layer = Linear(2, 4, rng=np.random.default_rng(3))
+        x = np.random.default_rng(4).normal(size=(3, 2))
+        triple = taylor_seed(Tensor(x), np.array([1.0, 0.0]))
+        out = layer.taylor_forward(triple)
+        assert np.allclose(out.value.data, layer(Tensor(x)).data)
+        assert np.allclose(out.d1.data, np.broadcast_to(layer.weight.data.T[0], (3, 4)))
+        assert np.allclose(out.d2.data, 0.0)
+
+
+class TestConv1d:
+    def test_output_shape_zero_padding(self):
+        conv = Conv1d(1, 3, kernel_size=5, padding=2)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 1, 16)))
+        assert conv(x).shape == (2, 3, 16)
+
+    def test_output_shape_stride(self):
+        conv = Conv1d(2, 4, kernel_size=3, stride=2)
+        x = Tensor(np.random.default_rng(0).normal(size=(1, 2, 11)))
+        assert conv(x).shape == (1, 4, 5)
+
+    def test_matches_manual_convolution(self):
+        rng = np.random.default_rng(1)
+        conv = Conv1d(1, 1, kernel_size=3, padding=0, bias=False, rng=rng)
+        signal = rng.normal(size=8)
+        out = conv(Tensor(signal.reshape(1, 1, 8))).data.ravel()
+        kernel = conv.weight.data.ravel()
+        expected = np.correlate(signal, kernel, mode="valid")
+        assert np.allclose(out, expected)
+
+    def test_circular_padding_preserves_length_and_wraps(self):
+        conv = Conv1d(1, 1, kernel_size=3, padding=1, padding_mode="circular", bias=False)
+        conv.weight.data[...] = np.array([[[1.0, 0.0, 0.0]]])  # picks the left neighbour
+        signal = np.arange(5.0)
+        out = conv(Tensor(signal.reshape(1, 1, 5))).data.ravel()
+        assert np.allclose(out, np.roll(signal, 1))
+
+    def test_gradients_flow_to_weight_and_input(self):
+        conv = Conv1d(2, 3, kernel_size=3, padding=1, rng=np.random.default_rng(2))
+        x = Tensor(np.random.default_rng(3).normal(size=(2, 2, 7)), requires_grad=True)
+        loss = ops.sum(conv(x) ** 2.0)
+        grads = grad(loss, [x, conv.weight, conv.bias])
+        assert all(np.any(g.data != 0) for g in grads)
+
+    def test_invalid_inputs(self):
+        conv = Conv1d(2, 3, kernel_size=3)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((2, 7))))
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((1, 3, 7))))
+        with pytest.raises(ValueError):
+            Conv1d(1, 1, kernel_size=3, padding_mode="reflect")
+
+
+class TestActivations:
+    @pytest.mark.parametrize("name", ["gelu", "tanh", "sine", "relu", "identity"])
+    def test_lookup(self, name):
+        act = get_activation(name)
+        x = Tensor(np.linspace(-2, 2, 11))
+        assert act(x).shape == x.shape
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError):
+            get_activation("swishish")
+
+    @pytest.mark.parametrize("act", [GELU(), Tanh(), Sine(omega=2.0), Identity()])
+    def test_derivative_matches_finite_difference(self, act):
+        x0 = np.array([0.4, -0.8, 1.3])
+        eps = 1e-6
+        numeric = (act(Tensor(x0 + eps)).data - act(Tensor(x0 - eps)).data) / (2 * eps)
+        assert np.allclose(act.derivative(Tensor(x0)).data, numeric, atol=1e-6)
+
+    @pytest.mark.parametrize("act", [GELU(), Tanh(), Sine()])
+    def test_second_derivative_matches_finite_difference(self, act):
+        x0 = np.array([0.25, -0.6])
+        eps = 1e-4
+        numeric = (
+            act(Tensor(x0 + eps)).data - 2 * act(Tensor(x0)).data + act(Tensor(x0 - eps)).data
+        ) / eps ** 2
+        assert np.allclose(act.second_derivative(Tensor(x0)).data, numeric, atol=1e-5)
+
+    def test_gelu_known_values(self):
+        act = GELU()
+        assert act(Tensor(np.array([0.0]))).data[0] == pytest.approx(0.0)
+        # gelu(x) -> x for large x, -> 0 for very negative x
+        assert act(Tensor(np.array([6.0]))).data[0] == pytest.approx(6.0, abs=1e-6)
+        assert act(Tensor(np.array([-6.0]))).data[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_relu_behaviour(self):
+        act = ReLU()
+        x = Tensor(np.array([-1.0, 0.5]))
+        assert np.allclose(act(x).data, [0.0, 0.5])
+        assert np.allclose(act.derivative(x).data, [0.0, 1.0])
+        assert np.allclose(act.second_derivative(x).data, [0.0, 0.0])
+
+
+class TestMLP:
+    def test_shapes_and_final_layer_is_linear(self):
+        mlp = MLP([2, 16, 16, 1], activation="gelu", rng=np.random.default_rng(0))
+        out = mlp(Tensor(np.random.default_rng(1).normal(size=(7, 2))))
+        assert out.shape == (7, 1)
+
+    def test_requires_two_sizes(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_taylor_forward_matches_autograd_second_derivative(self):
+        mlp = MLP([1, 8, 8, 1], activation="tanh", rng=np.random.default_rng(5))
+        x0 = np.array([[0.3], [0.9]])
+
+        # Autograd path.
+        x = Tensor(x0, requires_grad=True)
+        y = mlp(x)
+        (g1,) = grad(ops.sum(y), [x], create_graph=True)
+        (g2,) = grad(ops.sum(g1), [x])
+
+        # Taylor path.
+        from repro.autodiff.taylor import taylor_seed
+
+        triple = taylor_seed(Tensor(x0), np.array(1.0))
+        out = mlp.taylor_forward(triple)
+        assert np.allclose(out.value.data, y.data)
+        assert np.allclose(out.d2.data, g2.data, atol=1e-10)
+
+
+class TestInitializers:
+    def test_xavier_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        w = xavier_uniform((100, 100), 100, 100, rng)
+        bound = np.sqrt(6.0 / 200)
+        assert np.all(np.abs(w) <= bound)
+
+    def test_xavier_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = xavier_normal((200, 200), 200, 200, rng)
+        assert np.std(w) == pytest.approx(np.sqrt(2.0 / 400), rel=0.1)
+
+    def test_kaiming_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        w = kaiming_uniform((50, 50), 50, rng)
+        assert np.all(np.abs(w) <= np.sqrt(3.0 / 50))

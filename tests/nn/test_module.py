@@ -1,0 +1,107 @@
+"""Module / Parameter registration, state dicts and containers."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn import MLP, Linear, Module, ModuleList, Parameter
+
+
+class TinyNet(Module):
+    def __init__(self):
+        super().__init__()
+        self.layer1 = Linear(3, 4, rng=np.random.default_rng(0))
+        self.layer2 = Linear(4, 1, rng=np.random.default_rng(1))
+        self.scale = Parameter(np.array(2.0))
+
+    def forward(self, x):
+        return self.layer2(self.layer1(x)) * self.scale
+
+
+class TestRegistration:
+    def test_named_parameters_are_hierarchical(self):
+        net = TinyNet()
+        names = dict(net.named_parameters()).keys()
+        assert "layer1.weight" in names
+        assert "layer1.bias" in names
+        assert "layer2.weight" in names
+        assert "scale" in names
+
+    def test_parameters_count(self):
+        net = TinyNet()
+        assert net.num_parameters() == 3 * 4 + 4 + 4 * 1 + 1 + 1
+
+    def test_modules_iteration(self):
+        net = TinyNet()
+        kinds = [type(m).__name__ for m in net.modules()]
+        assert kinds.count("Linear") == 2
+
+    def test_bias_none_is_not_registered(self):
+        layer = Linear(3, 2, bias=False)
+        assert all(name != "bias" for name, _ in layer.named_parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        net = TinyNet()
+        state = net.state_dict()
+        net2 = TinyNet()
+        net2.load_state_dict(state)
+        x = Tensor(np.random.default_rng(2).normal(size=(5, 3)))
+        assert np.allclose(net(x).data, net2(x).data)
+
+    def test_state_dict_copies_data(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["scale"][...] = 99.0
+        assert net.scale.data != 99.0
+
+    def test_missing_key_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["bogus"] = np.zeros(3)
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["scale"] = np.zeros(7)
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+
+class TestGradients:
+    def test_zero_grad_clears(self):
+        net = TinyNet()
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 3)))
+        loss = net(x).sum()
+        loss.backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestModuleList:
+    def test_append_and_iterate(self):
+        container = ModuleList([Linear(2, 2), Linear(2, 2)])
+        container.append(Linear(2, 1))
+        assert len(container) == 3
+        assert isinstance(container[2], Linear)
+        assert len(list(iter(container))) == 3
+
+    def test_parameters_of_contained_modules_registered(self):
+        container = ModuleList([Linear(2, 2), Linear(2, 3)])
+        assert len(container.parameters()) == 4
+
+    def test_mlp_uses_module_list(self):
+        mlp = MLP([2, 8, 8, 1])
+        assert len(mlp.layers) == 3
+        assert mlp.num_parameters() == (2 * 8 + 8) + (8 * 8 + 8) + (8 * 1 + 1)

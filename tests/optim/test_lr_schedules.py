@@ -1,0 +1,93 @@
+"""Learning-rate schedules and the large-batch scaling rules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+from repro.optim import (
+    SGD,
+    ConstantLR,
+    WarmupPolynomialDecay,
+    scale_lr_sqrt,
+    scale_warmup_linear,
+)
+
+
+def make_optimizer(lr=1.0):
+    return SGD([Parameter(np.zeros(1))], lr=lr)
+
+
+class TestWarmupPolynomialDecay:
+    def test_warmup_ramps_linearly_to_max(self):
+        opt = make_optimizer()
+        sched = WarmupPolynomialDecay(opt, max_lr=1.0, total_iterations=1000, warmup_fraction=0.1)
+        lrs = [sched.step() for _ in range(100)]
+        assert lrs[0] == pytest.approx(1.0 / 100)
+        assert lrs[-1] == pytest.approx(1.0)
+        assert all(b >= a for a, b in zip(lrs, lrs[1:]))
+
+    def test_linear_decay_reaches_zero(self):
+        opt = make_optimizer()
+        sched = WarmupPolynomialDecay(opt, max_lr=2.0, total_iterations=100, warmup_fraction=0.0)
+        lrs = [sched.step() for _ in range(100)]
+        assert lrs[0] == pytest.approx(2.0)
+        assert lrs[-1] == pytest.approx(2.0 / 100, abs=1e-9)
+        assert sched.get_lr(10_000) == pytest.approx(0.0)
+
+    def test_polynomial_power_changes_shape(self):
+        opt = make_optimizer()
+        linear = WarmupPolynomialDecay(opt, 1.0, 100, warmup_fraction=0.0, power=1.0)
+        quadratic = WarmupPolynomialDecay(opt, 1.0, 100, warmup_fraction=0.0, power=2.0)
+        assert quadratic.get_lr(50) < linear.get_lr(50)
+
+    def test_end_lr_floor(self):
+        opt = make_optimizer()
+        sched = WarmupPolynomialDecay(opt, 1.0, 10, warmup_fraction=0.0, end_lr=0.1)
+        assert sched.get_lr(10) == pytest.approx(0.1)
+
+    def test_updates_optimizer_lr(self):
+        opt = make_optimizer(lr=123.0)
+        sched = WarmupPolynomialDecay(opt, max_lr=0.5, total_iterations=10, warmup_fraction=0.0)
+        sched.step()
+        assert opt.lr == pytest.approx(0.5)
+
+    def test_invalid_arguments(self):
+        opt = make_optimizer()
+        with pytest.raises(ValueError):
+            WarmupPolynomialDecay(opt, 1.0, 0)
+        with pytest.raises(ValueError):
+            WarmupPolynomialDecay(opt, 1.0, 10, warmup_fraction=1.5)
+
+
+class TestConstantLR:
+    def test_holds_value(self):
+        opt = make_optimizer(lr=0.3)
+        sched = ConstantLR(opt)
+        for _ in range(5):
+            assert sched.step() == pytest.approx(0.3)
+
+
+class TestScalingRules:
+    def test_sqrt_lr_scaling(self):
+        assert scale_lr_sqrt(1e-3, 4) == pytest.approx(2e-3)
+        assert scale_lr_sqrt(1e-3, 1) == pytest.approx(1e-3)
+
+    def test_linear_warmup_scaling_with_cap(self):
+        assert scale_warmup_linear(0.001, 8) == pytest.approx(0.008)
+        assert scale_warmup_linear(0.1, 32) == pytest.approx(0.5)  # capped
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            scale_lr_sqrt(1e-3, 0)
+        with pytest.raises(ValueError):
+            scale_warmup_linear(0.1, -1)
+
+    def test_config_scaling_helper(self):
+        from repro.training import TrainingConfig, scale_config_for_world_size
+
+        base = TrainingConfig(batch_size=8, max_lr=1e-3, warmup_fraction=0.001)
+        scaled = scale_config_for_world_size(base, 16)
+        assert scaled.batch_size == 128
+        assert scaled.max_lr == pytest.approx(4e-3)
+        assert scaled.warmup_fraction == pytest.approx(0.016)
+        assert scale_config_for_world_size(base, 1) is base

@@ -1,0 +1,135 @@
+"""Optimizers: SGD, Adam, AdamW, LAMB."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, ops
+from repro.nn import Parameter
+from repro.optim import LAMB, SGD, Adam, AdamW
+
+
+def quadratic_params(values=(5.0, -3.0)):
+    """Parameters for minimizing f(p) = sum(p^2); optimum at zero."""
+
+    return [Parameter(np.array([v])) for v in values]
+
+
+def set_quadratic_grads(params):
+    for p in params:
+        p.grad = Tensor(2.0 * p.data)
+
+
+def run_optimizer(optimizer, params, steps=200):
+    for _ in range(steps):
+        set_quadratic_grads(params)
+        optimizer.step()
+    return max(abs(float(p.data[0])) for p in params)
+
+
+class TestOptimizerBase:
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_rejected(self):
+        with pytest.raises(ValueError):
+            Adam(quadratic_params(), lr=0.0)
+
+    def test_zero_grad_clears(self):
+        params = quadratic_params()
+        opt = SGD(params, lr=0.1)
+        set_quadratic_grads(params)
+        opt.zero_grad()
+        assert all(p.grad is None for p in params)
+
+    def test_missing_grad_treated_as_zero(self):
+        params = quadratic_params((1.0,))
+        opt = SGD(params, lr=0.1)
+        opt.step()  # no grad set -> parameter unchanged
+        assert params[0].data[0] == pytest.approx(1.0)
+
+    def test_state_dict_roundtrip(self):
+        params = quadratic_params()
+        opt = Adam(params, lr=0.01)
+        set_quadratic_grads(params)
+        opt.step()
+        state = opt.state_dict()
+        opt2 = Adam(quadratic_params(), lr=0.5)
+        opt2.load_state_dict(state)
+        assert opt2.lr == opt.lr and opt2.step_count == 1
+
+
+class TestConvergenceOnQuadratic:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda p: SGD(p, lr=0.1),
+            lambda p: SGD(p, lr=0.05, momentum=0.9),
+            lambda p: Adam(p, lr=0.2),
+            lambda p: AdamW(p, lr=0.2),
+            lambda p: LAMB(p, lr=0.05),
+        ],
+    )
+    def test_all_optimizers_reach_the_optimum(self, factory):
+        params = quadratic_params()
+        assert run_optimizer(factory(params), params) < 1e-2
+
+    def test_sgd_matches_manual_update(self):
+        params = quadratic_params((2.0,))
+        opt = SGD(params, lr=0.1)
+        set_quadratic_grads(params)
+        opt.step()
+        assert params[0].data[0] == pytest.approx(2.0 - 0.1 * 4.0)
+
+    def test_sgd_weight_decay(self):
+        params = quadratic_params((1.0,))
+        opt = SGD(params, lr=0.1, weight_decay=0.5)
+        params[0].grad = Tensor(np.array([0.0]))
+        opt.step()
+        assert params[0].data[0] == pytest.approx(1.0 - 0.1 * 0.5)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD(quadratic_params(), lr=0.1, momentum=1.5)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam(quadratic_params(), lr=0.1, betas=(1.0, 0.999))
+
+
+class TestAdamFamilyDetails:
+    def test_adam_first_step_is_lr_sized(self):
+        # With bias correction, the very first Adam step has magnitude ~lr.
+        params = quadratic_params((10.0,))
+        opt = Adam(params, lr=0.1)
+        set_quadratic_grads(params)
+        opt.step()
+        assert abs(10.0 - params[0].data[0]) == pytest.approx(0.1, rel=1e-4)
+
+    def test_adamw_decouples_weight_decay(self):
+        # With zero gradient, AdamW still shrinks the weights by lr*wd*w.
+        params = quadratic_params((1.0,))
+        opt = AdamW(params, lr=0.1, weight_decay=0.1)
+        params[0].grad = Tensor(np.array([0.0]))
+        opt.step()
+        assert params[0].data[0] == pytest.approx(1.0 - 0.1 * 0.1 * 1.0)
+
+    def test_lamb_trust_ratio_scales_update(self):
+        # Two parameters with the same gradient but different norms get
+        # different effective step sizes (layer-wise adaptation).
+        big = Parameter(np.array([100.0]))
+        small = Parameter(np.array([0.1]))
+        opt = LAMB([big, small], lr=0.01)
+        big.grad = Tensor(np.array([1.0]))
+        small.grad = Tensor(np.array([1.0]))
+        opt.step()
+        assert abs(100.0 - big.data[0]) > abs(0.1 - small.data[0])
+
+    def test_lamb_trust_ratio_clamped(self):
+        p = Parameter(np.array([1e6]))
+        opt = LAMB([p], lr=0.001, max_trust_ratio=10.0)
+        p.grad = Tensor(np.array([1e-12]))
+        before = p.data.copy()
+        opt.step()
+        # trust ratio capped at 10 -> step no larger than lr * 10 * |direction|
+        assert abs(p.data[0] - before[0]) <= 0.001 * 10.0 * 1.0 + 1e-9

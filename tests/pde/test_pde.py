@@ -1,0 +1,139 @@
+"""BVP abstractions, collocation sampling and physics-informed losses."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, grad
+from repro.pde import (
+    Domain,
+    HARMONIC_FUNCTIONS,
+    PinnLoss,
+    data_loss,
+    grid_points,
+    harmonic_bvp,
+    laplace_bvp,
+    laplace_residual_loss,
+    mse_loss,
+    sample_collocation,
+    sine_boundary_bvp,
+)
+
+
+class TestDomain:
+    def test_area_and_contains(self):
+        domain = Domain(extent=(2.0, 1.0), origin=(1.0, 0.0))
+        assert domain.area == pytest.approx(2.0)
+        inside = np.array([[1.5, 0.5], [3.0, 1.0]])
+        outside = np.array([[0.5, 0.5], [1.5, 1.5]])
+        assert np.all(domain.contains(inside))
+        assert not np.any(domain.contains(outside))
+
+    def test_grid_construction(self):
+        domain = Domain(extent=(1.0, 2.0))
+        grid = domain.grid(5, 9)
+        assert grid.shape == (9, 5)
+        assert grid.extent == (1.0, 2.0)
+
+
+class TestBVP:
+    def test_harmonic_bvp_reference_is_exact_solution(self):
+        bvp = harmonic_bvp("saddle")
+        grid = bvp.domain.grid(17)
+        assert np.allclose(bvp.reference_solution(grid), grid.field_from_function(HARMONIC_FUNCTIONS["saddle"]))
+
+    def test_unknown_harmonic_name(self):
+        with pytest.raises(ValueError):
+            harmonic_bvp("vortex")
+
+    def test_boundary_loop_requires_function(self):
+        bvp = laplace_bvp(boundary_function=None)
+        with pytest.raises(ValueError):
+            bvp.boundary_loop(Domain().grid(9))
+
+    def test_numerical_reference_for_gp_style_boundary(self):
+        bvp = sine_boundary_bvp()
+        grid = bvp.domain.grid(17)
+        reference = bvp.reference_solution(grid, method="direct")
+        loop = bvp.boundary_loop(grid)
+        # Boundary values of the reference match the imposed condition.
+        assert np.allclose(grid.extract_boundary(reference), loop)
+
+    def test_exact_field_requires_exact_solution(self):
+        bvp = sine_boundary_bvp()
+        with pytest.raises(ValueError):
+            bvp.exact_field(bvp.domain.grid(9))
+
+
+class TestCollocation:
+    def test_uniform_sampling_stays_inside(self):
+        domain = Domain(extent=(0.5, 0.5), origin=(1.0, 2.0))
+        pts = sample_collocation(domain, 200, seed=0, strategy="uniform")
+        assert pts.shape == (200, 2)
+        assert np.all(domain.contains(pts))
+
+    def test_sobol_sampling_stays_inside_and_is_low_discrepancy(self):
+        domain = Domain(extent=(1.0, 1.0))
+        pts = sample_collocation(domain, 256, seed=1, strategy="sobol")
+        assert np.all(domain.contains(pts))
+        # Low-discrepancy: each quadrant receives roughly a quarter of points.
+        quadrant = np.sum((pts[:, 0] < 0.5) & (pts[:, 1] < 0.5))
+        assert 48 <= quadrant <= 80
+
+    def test_grid_points_count(self):
+        assert grid_points(Domain(), 5, 7).shape == (35, 2)
+
+    def test_reproducibility_with_seed(self):
+        domain = Domain()
+        a = sample_collocation(domain, 32, seed=5)
+        b = sample_collocation(domain, 32, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            sample_collocation(Domain(), 10, strategy="halton")
+
+
+class TestLosses:
+    def test_mse_loss_value(self):
+        pred = Tensor(np.array([1.0, 2.0, 3.0]))
+        assert mse_loss(pred, np.array([1.0, 1.0, 1.0])).item() == pytest.approx(5.0 / 3.0)
+
+    def test_data_loss_is_zero_for_perfect_model(self, small_sdnet, rng):
+        g = rng.normal(size=(2, small_sdnet.boundary_size))
+        x = rng.uniform(size=(2, 4, 2))
+        u = small_sdnet.predict(g, x)
+        assert data_loss(small_sdnet, Tensor(g), Tensor(x), u).item() == pytest.approx(0.0)
+
+    def test_residual_loss_nonnegative_and_differentiable(self, small_sdnet, rng):
+        g = Tensor(rng.normal(size=(2, small_sdnet.boundary_size)))
+        x = Tensor(rng.uniform(size=(2, 4, 2)) * 0.5)
+        loss = laplace_residual_loss(small_sdnet, g, x)
+        assert loss.item() >= 0.0
+        grads = grad(loss, small_sdnet.parameters())
+        assert any(np.any(gr.data != 0) for gr in grads)
+
+    def test_residual_loss_methods_agree(self, small_sdnet, rng):
+        g = Tensor(rng.normal(size=(1, small_sdnet.boundary_size)))
+        x = Tensor(rng.uniform(size=(1, 5, 2)) * 0.5)
+        taylor = laplace_residual_loss(small_sdnet, g, x, method="taylor").item()
+        autograd = laplace_residual_loss(small_sdnet, g, x, method="autograd").item()
+        assert taylor == pytest.approx(autograd, rel=1e-10)
+
+    def test_pinn_loss_composition(self, small_sdnet, rng):
+        g = Tensor(rng.normal(size=(2, small_sdnet.boundary_size)))
+        x = Tensor(rng.uniform(size=(2, 4, 2)))
+        u = Tensor(rng.normal(size=(2, 4)))
+        values = PinnLoss(pde_weight=0.5)(small_sdnet, g, x, u, x)
+        assert values.total.item() == pytest.approx(
+            values.data.item() + 0.5 * values.pde.item()
+        )
+        floats = values.to_floats()
+        assert set(floats) == {"total", "data", "pde"}
+
+    def test_pinn_loss_without_pde_term(self, small_sdnet, rng):
+        g = Tensor(rng.normal(size=(1, small_sdnet.boundary_size)))
+        x = Tensor(rng.uniform(size=(1, 4, 2)))
+        u = Tensor(rng.normal(size=(1, 4)))
+        values = PinnLoss(use_pde_loss=False)(small_sdnet, g, x, u, x)
+        assert values.pde.item() == 0.0
+        assert values.total.item() == pytest.approx(values.data.item())

@@ -1,0 +1,97 @@
+"""GPU specs, FLOP models and the Section 4.3 scaling predictions."""
+
+import pytest
+
+from repro.distributed import INTERCONNECTS
+from repro.perfmodel import (
+    GPU_SPECS,
+    MFPCostModel,
+    concat_first_layer_flops,
+    inference_time,
+    model_inference_flops,
+    sdnet_first_layer_flops,
+    strong_scaling_curve,
+    weak_scaling_curve,
+)
+
+
+class TestGPUSpecs:
+    def test_table2_contents(self):
+        assert set(GPU_SPECS) == {"V100", "A30", "A100"}
+        assert GPU_SPECS["V100"].memory_gb == 16.0
+        assert GPU_SPECS["A100"].peak_fp32_tflops == pytest.approx(19.5)
+        assert GPU_SPECS["A30"].gpus_per_node == 4
+
+    def test_peak_flops_conversion(self):
+        assert GPU_SPECS["V100"].peak_flops == pytest.approx(14e12)
+
+    def test_inference_time_scales_with_peak(self):
+        flops = 1e9
+        assert inference_time(flops, GPU_SPECS["A100"]) < inference_time(flops, GPU_SPECS["A30"])
+        with pytest.raises(ValueError):
+            inference_time(flops, GPU_SPECS["A100"], efficiency=0.0)
+
+
+class TestFlopModels:
+    def test_split_layer_is_cheaper_and_gap_grows_with_batch(self):
+        small_gap = concat_first_layer_flops(128, 64, 100) - sdnet_first_layer_flops(128, 64, 100)
+        large_gap = concat_first_layer_flops(128, 64, 10_000) - sdnet_first_layer_flops(128, 64, 10_000)
+        assert small_gap > 0 and large_gap > small_gap
+
+    def test_total_model_flops(self):
+        split = model_inference_flops(128, 64, 4, 1000, architecture="split")
+        concat = model_inference_flops(128, 64, 4, 1000, architecture="concat")
+        assert split < concat
+        with pytest.raises(ValueError):
+            model_inference_flops(128, 64, 4, 1000, architecture="fourier")
+
+
+class TestScalingModel:
+    @pytest.fixture()
+    def cost_model(self):
+        return MFPCostModel.from_gpu(
+            GPU_SPECS["A30"],
+            INTERCONNECTS["infiniband-100g"],
+            boundary_size=128,
+            hidden=64,
+            trunk_layers=4,
+            subdomain_resolution=32,
+        )
+
+    def test_strong_scaling_speedup_and_comm_fraction(self, cost_model):
+        iterations = {1: 3200, 2: 3250, 4: 3250, 8: 3300, 16: 3400, 32: 3500}
+        curve = strong_scaling_curve(cost_model, 2048, sorted(iterations), iterations)
+        totals = {p.world_size: p.total for p in curve}
+        fractions = [p.communication_fraction for p in curve]
+        # Total time decreases with processor count but sub-linearly.
+        assert totals[32] < totals[1]
+        speedup = totals[1] / totals[32]
+        assert 4 < speedup < 32
+        # The communication fraction grows monotonically with P (Figure 9a).
+        assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+
+    def test_computation_scales_inversely_with_p(self, cost_model):
+        t1 = cost_model.computation_time(2048, 1, 100)
+        t4 = cost_model.computation_time(2048, 4, 100)
+        assert t1 / t4 == pytest.approx(4.0)
+
+    def test_communication_bandwidth_term_decreases_with_sqrt_p(self, cost_model):
+        c4 = cost_model.communication_time(2048, 4, 100)
+        c16 = cost_model.communication_time(2048, 16, 100)
+        assert c16 < c4
+        assert cost_model.communication_time(2048, 1, 100) == 0.0
+
+    def test_weak_scaling_communication_grows_then_plateaus(self, cost_model):
+        curve = weak_scaling_curve(cost_model, (512, 1024), [1, 2, 4, 8, 16, 32], iterations=2000)
+        comm = [p.sendrecv for p in curve]
+        # no communication on one rank, then growth that flattens out
+        assert comm[0] == 0.0
+        assert comm[1] > 0.0
+        late_growth = comm[-1] / comm[2]
+        early_growth = comm[2] / comm[1]
+        assert late_growth < early_growth * 2
+
+    def test_subdomains_per_processor_formula(self, cost_model):
+        assert cost_model.subdomains_per_processor(2048, 1) == pytest.approx(
+            (2 * 2048) ** 2 / 32 ** 2
+        )

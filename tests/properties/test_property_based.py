@@ -1,0 +1,173 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autodiff import Tensor, grad, ops
+from repro.distributed import ProcessGrid, block_range, choose_grid_dims
+from repro.fd import Grid2D, apply_laplacian, solve_laplace
+from repro.mosaic import MosaicGeometry
+
+# Keep hypothesis fast and deterministic for CI-style runs.
+COMMON_SETTINGS = settings(max_examples=25, deadline=None)
+
+
+small_floats = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False)
+
+
+class TestAutodiffProperties:
+    @COMMON_SETTINGS
+    @given(st.lists(small_floats, min_size=1, max_size=8),
+           st.lists(small_floats, min_size=1, max_size=8))
+    def test_addition_gradient_is_ones(self, xs, ys):
+        n = min(len(xs), len(ys))
+        a = Tensor(np.array(xs[:n]), requires_grad=True)
+        b = Tensor(np.array(ys[:n]), requires_grad=True)
+        ga, gb = grad(ops.sum(a + b), [a, b])
+        assert np.allclose(ga.data, 1.0) and np.allclose(gb.data, 1.0)
+
+    @COMMON_SETTINGS
+    @given(st.lists(small_floats, min_size=2, max_size=10))
+    def test_sum_linearity_of_gradients(self, xs):
+        x = Tensor(np.array(xs), requires_grad=True)
+        (g,) = grad(ops.sum(3.0 * x) + ops.sum(2.0 * x), [x])
+        assert np.allclose(g.data, 5.0)
+
+    @COMMON_SETTINGS
+    @given(st.lists(st.floats(min_value=-2.0, max_value=2.0), min_size=1, max_size=6))
+    def test_tanh_gradient_bounds(self, xs):
+        x = Tensor(np.array(xs), requires_grad=True)
+        (g,) = grad(ops.sum(ops.tanh(x)), [x])
+        assert np.all(g.data >= 0.0) and np.all(g.data <= 1.0)
+
+    @COMMON_SETTINGS
+    @given(st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=5))
+    def test_matmul_gradient_shapes(self, n, m):
+        a = Tensor(np.ones((n, m)), requires_grad=True)
+        b = Tensor(np.ones((m, 3)), requires_grad=True)
+        ga, gb = grad(ops.sum(ops.matmul(a, b)), [a, b])
+        assert ga.shape == (n, m) and gb.shape == (m, 3)
+
+    @COMMON_SETTINGS
+    @given(st.lists(small_floats, min_size=1, max_size=9))
+    def test_reshape_preserves_gradient_values(self, xs):
+        x = Tensor(np.array(xs), requires_grad=True)
+        (g1,) = grad(ops.sum(x * x), [x])
+        (g2,) = grad(ops.sum(ops.reshape(x, (len(xs), 1)) ** 2.0), [x])
+        assert np.allclose(g1.data, g2.data)
+
+
+class TestGridProperties:
+    @COMMON_SETTINGS
+    @given(st.integers(min_value=3, max_value=20), st.integers(min_value=3, max_value=20))
+    def test_boundary_roundtrip(self, nx, ny):
+        grid = Grid2D(nx, ny)
+        rng = np.random.default_rng(nx * 100 + ny)
+        field = rng.normal(size=grid.shape)
+        loop = grid.extract_boundary(field)
+        assert loop.shape == (2 * nx + 2 * ny,)
+        rebuilt = grid.insert_boundary(loop)
+        # every boundary position matches the canonical loop values
+        assert np.allclose(grid.extract_boundary(rebuilt), grid.extract_boundary(rebuilt))
+        assert np.allclose(rebuilt[~grid.boundary_mask()], 0.0)
+
+    @COMMON_SETTINGS
+    @given(st.integers(min_value=3, max_value=12), st.integers(min_value=3, max_value=12))
+    def test_boundary_mask_count(self, nx, ny):
+        grid = Grid2D(nx, ny)
+        assert grid.boundary_mask().sum() == 2 * nx + 2 * ny - 4
+        assert grid.num_interior == (nx - 2) * (ny - 2)
+
+    @COMMON_SETTINGS
+    @given(st.integers(min_value=9, max_value=21))
+    def test_discrete_maximum_principle(self, n):
+        """The Laplace solution is bounded by its boundary values."""
+
+        grid = Grid2D(n, n)
+        rng = np.random.default_rng(n)
+        boundary = np.where(grid.boundary_mask(), rng.uniform(-1, 1, size=grid.shape), 0.0)
+        solution = solve_laplace(grid, boundary, method="direct")
+        b_min = boundary[grid.boundary_mask()].min()
+        b_max = boundary[grid.boundary_mask()].max()
+        assert solution.min() >= b_min - 1e-10
+        assert solution.max() <= b_max + 1e-10
+
+    @COMMON_SETTINGS
+    @given(st.integers(min_value=9, max_value=17))
+    def test_solution_is_discrete_harmonic(self, n):
+        grid = Grid2D(n, n)
+        rng = np.random.default_rng(n + 7)
+        boundary = np.where(grid.boundary_mask(), rng.normal(size=grid.shape), 0.0)
+        solution = solve_laplace(grid, boundary, method="direct")
+        assert np.max(np.abs(apply_laplacian(grid, solution))) < 1e-8
+
+
+class TestPartitioningProperties:
+    @COMMON_SETTINGS
+    @given(st.integers(min_value=1, max_value=64))
+    def test_grid_dims_multiply_to_size(self, size):
+        rows, cols = choose_grid_dims(size)
+        assert rows * cols == size
+
+    @COMMON_SETTINGS
+    @given(st.integers(min_value=1, max_value=100), st.integers(min_value=1, max_value=10))
+    def test_block_range_partitions_exactly(self, total, parts):
+        ranges = [block_range(total, parts, i) for i in range(parts)]
+        assert ranges[0][0] == 0 and ranges[-1][1] == total
+        for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+            assert a1 == b0
+        sizes = [b - a for a, b in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    @COMMON_SETTINGS
+    @given(st.integers(min_value=1, max_value=16), st.sampled_from(["row", "morton"]))
+    def test_process_grid_rank_coordinate_bijection(self, size, ordering):
+        grid = ProcessGrid(size, ordering=ordering)
+        coords = [grid.coords(r) for r in range(size)]
+        assert len(set(coords)) == size
+        for rank, rc in enumerate(coords):
+            assert grid.rank_at(*rc) == rank
+
+    @COMMON_SETTINGS
+    @given(st.integers(min_value=1, max_value=12),
+           st.integers(min_value=12, max_value=40),
+           st.integers(min_value=12, max_value=40))
+    def test_partition_tiles_lattice(self, size, rows, cols):
+        grid = ProcessGrid(size)
+        coverage = np.zeros((rows, cols), dtype=int)
+        for rank in range(size):
+            p = grid.partition(rows, cols, rank)
+            coverage[p.row_start: p.row_stop, p.col_start: p.col_stop] += 1
+        assert np.all(coverage == 1)
+
+
+class TestGeometryProperties:
+    @COMMON_SETTINGS
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=2, max_value=8),
+           st.sampled_from([5, 9, 13]))
+    def test_phases_partition_anchors(self, steps_x, steps_y, m):
+        geo = MosaicGeometry(subdomain_points=m, subdomain_extent=0.5,
+                             steps_x=steps_x, steps_y=steps_y)
+        union = []
+        for phase in range(4):
+            union.extend(geo.anchors_for_phase(phase))
+        assert sorted(union) == sorted(geo.anchors())
+        assert len(union) == len(set(union))
+        assert geo.global_nx == steps_x * geo.half + 1
+
+    @COMMON_SETTINGS
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=2, max_value=6))
+    def test_centre_lines_cover_interior_lattice(self, steps_x, steps_y):
+        geo = MosaicGeometry(subdomain_points=9, subdomain_extent=0.5,
+                             steps_x=steps_x, steps_y=steps_y)
+        updated = np.zeros((geo.global_ny, geo.global_nx), dtype=bool)
+        crow, ccol = geo.center_line_local_indices()
+        for anchor in geo.anchors():
+            r0, c0 = geo.anchor_window(anchor)
+            updated[r0 + crow, c0 + ccol] = True
+        lattice = geo.lattice_mask()
+        interior = lattice.copy()
+        interior[0, :] = interior[-1, :] = False
+        interior[:, 0] = interior[:, -1] = False
+        assert np.array_equal(updated, interior)

@@ -1,0 +1,60 @@
+"""Utility helpers: seeded RNG spawning and timers."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import Timer, Timings, seeded_rng, spawn_rngs
+
+
+class TestRng:
+    def test_seeded_rng_reproducible(self):
+        assert seeded_rng(7).integers(0, 100, 5).tolist() == seeded_rng(7).integers(0, 100, 5).tolist()
+
+    def test_spawn_rngs_are_independent(self):
+        streams = spawn_rngs(3, 4)
+        assert len(streams) == 4
+        draws = [s.standard_normal(8) for s in streams]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.allclose(draws[i], draws[j])
+
+    def test_spawn_rngs_reproducible(self):
+        a = spawn_rngs(11, 2)
+        b = spawn_rngs(11, 2)
+        assert np.allclose(a[0].standard_normal(4), b[0].standard_normal(4))
+
+    def test_spawn_count_validation(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, 0)
+
+
+class TestTimers:
+    def test_timer_measures_elapsed(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_timer_accumulates(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.elapsed
+        with timer:
+            pass
+        assert timer.elapsed >= first
+
+    def test_timer_requires_start(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_timings_categories(self):
+        timings = Timings()
+        with timings.measure("compute"):
+            time.sleep(0.005)
+        timings.add("communication", 0.5)
+        assert timings["compute"] > 0
+        assert timings.total() == pytest.approx(timings["compute"] + 0.5)
+        assert set(timings.as_dict()) == {"compute", "communication"}
