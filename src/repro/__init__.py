@@ -16,9 +16,38 @@ The package implements, from scratch and on top of numpy only:
   distributed (Algorithm 2),
 * ``repro.schwarz`` — classical Schwarz domain decomposition baselines,
 * ``repro.perfmodel`` — GPU and alpha-beta scaling models used to
-  regenerate the paper's performance figures.
+  regenerate the paper's performance figures,
+* ``repro.serving`` — the batched inference service: request validation,
+  dynamic batching, solution caching and worker-pool sharding in front of
+  the Mosaic Flow predictor.
 """
 
 __version__ = "0.1.0"
 
-__all__ = ["__version__"]
+#: serving front-door names re-exported at the package top level
+_SERVING_EXPORTS = (
+    "Server",
+    "SolveRequest",
+    "SolveResult",
+    "BatchPolicy",
+    "SolutionCache",
+    "ServingEstimator",
+)
+
+__all__ = ["__version__", "serving", *_SERVING_EXPORTS]
+
+
+def __getattr__(name: str):
+    """Lazily expose the serving subsystem (PEP 562).
+
+    Keeps ``import repro`` free of subpackage import costs while still
+    allowing ``repro.Server`` / ``repro.serving`` without an explicit
+    subpackage import.
+    """
+
+    if name == "serving" or name in _SERVING_EXPORTS:
+        import importlib
+
+        serving = importlib.import_module(__name__ + ".serving")
+        return serving if name == "serving" else getattr(serving, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

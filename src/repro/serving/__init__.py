@@ -1,0 +1,38 @@
+"""repro.serving — a batched inference service for Mosaic Flow solves.
+
+Turns many concurrent boundary-value-problem queries into the large fused
+solver batches the device-level execution model exploits (Figures 8/9 of the
+paper): requests are validated and canonicalized (:mod:`.api`), answered from
+an LRU solution cache when possible (:mod:`.cache`), dynamically batched per
+geometry (:mod:`.batcher`, sized by the perfmodel-backed :mod:`.estimator`),
+and executed as fused batched runs (:mod:`.fused`) sharded across simulated
+ranks (:mod:`.workers`) — all behind a synchronous submit/drain front-end
+with latency/cache/batching statistics (:mod:`.server`, :mod:`.stats`).
+"""
+
+from .api import RequestValidationError, SolveRequest, SolveResult
+from .batcher import Batch, BatchPolicy, DynamicBatcher
+from .cache import CachedSolution, SolutionCache
+from .estimator import ServingEstimator
+from .fused import FusedBatchRunner, FusedOutcome
+from .server import Server, default_solver_factory
+from .stats import ServingStats
+from .workers import WorkerPool
+
+__all__ = [
+    "RequestValidationError",
+    "SolveRequest",
+    "SolveResult",
+    "Batch",
+    "BatchPolicy",
+    "DynamicBatcher",
+    "CachedSolution",
+    "SolutionCache",
+    "ServingEstimator",
+    "FusedBatchRunner",
+    "FusedOutcome",
+    "Server",
+    "default_solver_factory",
+    "ServingStats",
+    "WorkerPool",
+]

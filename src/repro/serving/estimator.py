@@ -1,0 +1,148 @@
+"""Perfmodel-backed throughput/latency estimates for the batcher.
+
+Instead of hardcoding a batch size, the server can size its batches from the
+GPU cost model of :mod:`repro.perfmodel`: the FLOP count of one fused solver
+call gives the call's latency on a target platform (Section 3.2 / Figure 8),
+and the activation footprint per subdomain gives the memory-feasible maximum
+batch — the limit that determines the largest usable batch in Figure 5.
+
+All quantities are *model* estimates (the reproduction runs on CPU); they are
+used for policy decisions, not for reporting measured performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mosaic.geometry import PHASE_OFFSETS, MosaicGeometry
+from ..perfmodel.gpu import GPU_SPECS, GPUSpec, inference_time, model_inference_flops
+
+__all__ = ["ServingEstimator"]
+
+
+@dataclass(frozen=True)
+class ServingEstimator:
+    """Throughput/latency model of fused subdomain inference on one platform.
+
+    Parameters
+    ----------
+    gpu:
+        Target platform (one of Table 2, or a custom :class:`GPUSpec`).
+    hidden, trunk_layers:
+        Architecture of the subdomain network being served.
+    architecture:
+        ``"split"`` (SDNet) or ``"concat"`` (baseline).
+    efficiency:
+        Fraction of peak FLOP rate achieved by fused batches (paper: ~0.5).
+    launch_overhead_seconds:
+        Fixed per-call cost (kernel launch, framework dispatch); this is what
+        makes small batches throughput-inefficient.
+    memory_fraction:
+        Fraction of device memory available for activations.
+    """
+
+    gpu: GPUSpec
+    hidden: int = 256
+    trunk_layers: int = 6
+    architecture: str = "split"
+    efficiency: float = 0.5
+    launch_overhead_seconds: float = 20e-6
+    memory_fraction: float = 0.8
+
+    @classmethod
+    def for_platform(cls, name: str, **kwargs) -> "ServingEstimator":
+        """Build an estimator for one of the paper's platforms by name."""
+
+        return cls(gpu=GPU_SPECS[name], **kwargs)
+
+    # -- per-subdomain costs ------------------------------------------------------
+
+    def flops_per_subdomain(self, boundary_size: int, q_points: int) -> float:
+        return model_inference_flops(
+            boundary_size, self.hidden, self.trunk_layers, q_points, self.architecture
+        )
+
+    def bytes_per_subdomain(self, boundary_size: int, q_points: int) -> float:
+        """Activation footprint of one subdomain inside a fused call (fp32)."""
+
+        activations = (
+            boundary_size            # boundary loop input
+            + self.hidden            # boundary embedding
+            + q_points * self.hidden  # trunk activations per query point
+            + q_points               # output
+        )
+        return 4.0 * activations
+
+    # -- fused-call estimates -----------------------------------------------------
+
+    def max_subdomains_per_call(self, boundary_size: int, q_points: int) -> int:
+        """Memory-feasible number of subdomains in one fused call (Figure 5)."""
+
+        budget = self.gpu.memory_bytes * self.memory_fraction
+        return max(1, int(budget // self.bytes_per_subdomain(boundary_size, q_points)))
+
+    def call_latency(self, num_subdomains: int, boundary_size: int, q_points: int) -> float:
+        """Estimated latency of one fused call over ``num_subdomains``."""
+
+        if num_subdomains < 1:
+            raise ValueError("num_subdomains must be at least 1")
+        flops = num_subdomains * self.flops_per_subdomain(boundary_size, q_points)
+        return self.launch_overhead_seconds + inference_time(flops, self.gpu, self.efficiency)
+
+    def throughput(self, num_subdomains: int, boundary_size: int, q_points: int) -> float:
+        """Subdomains per second of one fused call (rises with batch size)."""
+
+        return num_subdomains / self.call_latency(num_subdomains, boundary_size, q_points)
+
+    # -- policy -------------------------------------------------------------------
+
+    def recommend_batch_size(
+        self,
+        geometry: MosaicGeometry,
+        latency_budget_seconds: float | None = None,
+        max_requests: int | None = None,
+        assembly_batch: int = 256,
+    ) -> int:
+        """Largest request batch that fits memory (and a latency budget).
+
+        A fused run over a batch of ``B`` requests issues two kinds of solver
+        calls: iteration calls over the biggest placement phase
+        (``ceil(anchor_rows/2) * ceil(anchor_cols/2)`` subdomains per
+        request, center-line query points) and dense-assembly calls (up to
+        ``assembly_batch`` anchors per request per call — the fused runner's
+        chunk size — with the much larger interior query set).  Both are
+        checked against device memory and, optionally,
+        ``latency_budget_seconds``; the recommendation is the largest ``B``
+        satisfying the binding constraint.
+        """
+
+        boundary_size = geometry.subdomain_grid().boundary_size
+        largest_phase = max(
+            len(geometry.anchors_for_phase(phase))
+            for phase in range(len(PHASE_OFFSETS))
+        )
+        calls = [
+            # (subdomains per request, query points per subdomain)
+            (max(1, largest_phase), len(geometry.center_line_local_indices()[0])),
+            (
+                max(1, min(geometry.num_subdomains, int(assembly_batch))),
+                len(geometry.interior_local_indices()[0]),
+            ),
+        ]
+        batch = max(
+            1,
+            min(
+                self.max_subdomains_per_call(boundary_size, q) // per_request
+                for per_request, q in calls
+            ),
+        )
+        if latency_budget_seconds is not None:
+            while batch > 1 and any(
+                self.call_latency(batch * per_request, boundary_size, q)
+                > latency_budget_seconds
+                for per_request, q in calls
+            ):
+                batch //= 2
+        if max_requests is not None:
+            batch = min(batch, max(1, int(max_requests)))
+        return batch

@@ -1,0 +1,250 @@
+"""Fused execution of many same-geometry BVPs in one lattice iteration.
+
+This is the serving-layer generalization of the device-level batching in
+:class:`~repro.mosaic.MosaicFlowPredictor`: where the single-BVP predictor
+stacks the non-overlapping subdomains of one iteration phase into one solver
+call, the fused runner additionally stacks that phase across *all* requests
+of a batch — a batch of ``B`` requests with ``S`` subdomains per phase makes
+one solver call over ``B * S`` boundary loops.  Requests are independent
+problems, so fusing them changes only the shape of the solver call, never the
+numbers fed to (or read from) the solver.
+
+Per-request semantics are kept *identical* to running
+``MosaicFlowPredictor.run(loop, max_iterations, tol)`` on each request alone:
+all requests of a batch start at iteration 1 together, each request performs
+exactly the same phase sequence, its convergence is checked on the same
+cadence with its own tolerance, and once it converges (or exhausts its own
+iteration budget) its field is frozen and it simply stops contributing rows
+to the fused calls.  The final dense assembly is fused the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..mosaic.assembly import overlap_average
+from ..mosaic.geometry import PHASE_OFFSETS, MosaicGeometry
+from ..mosaic.predictor import initialize_lattice_field
+from ..mosaic.solvers import SubdomainSolver
+
+__all__ = ["FusedOutcome", "FusedBatchRunner"]
+
+
+@dataclass
+class FusedOutcome:
+    """Per-request outcome of a fused batch run."""
+
+    solution: np.ndarray
+    lattice_field: np.ndarray
+    iterations: int
+    converged: bool
+    deltas: list = field(default_factory=list)
+
+
+class FusedBatchRunner:
+    """Run a batch of same-geometry BVPs through fused solver calls.
+
+    Parameters
+    ----------
+    geometry:
+        Shared interface-lattice geometry of every request in the batch.
+    solver:
+        Subdomain solver; fused calls receive ``(B * S, 4N)`` boundary
+        stacks.
+    init_mode, check_interval:
+        Shared lattice initialization and convergence-check cadence (these
+        are part of the batcher's group key).
+    assembly_batch:
+        Anchor chunk size of the dense assembly, mirroring
+        :func:`~repro.mosaic.assembly.accumulate_dense_predictions`.
+    """
+
+    def __init__(
+        self,
+        geometry: MosaicGeometry,
+        solver: SubdomainSolver,
+        init_mode: str = "mean",
+        check_interval: int = 1,
+        assembly_batch: int = 256,
+    ):
+        expected = geometry.subdomain_grid().boundary_size
+        if solver.boundary_size != expected:
+            raise ValueError(
+                f"solver boundary size {solver.boundary_size} does not match the "
+                f"geometry's subdomain boundary size {expected}"
+            )
+        if check_interval < 1:
+            raise ValueError("check_interval must be at least 1")
+        self.geometry = geometry
+        self.solver = solver
+        self.init_mode = init_mode
+        self.check_interval = int(check_interval)
+        self.assembly_batch = int(assembly_batch)
+        self._brow, self._bcol = geometry.boundary_loop_local_indices()
+        self._crow, self._ccol = geometry.center_line_local_indices()
+        self._center_coords = geometry.center_line_local_coordinates()
+        self._lattice_mask = geometry.lattice_mask()
+        # (rows, cols) matrices per phase: (subdomains_in_phase, points).
+        self._phase_reads: list[tuple[np.ndarray, np.ndarray]] = []
+        self._phase_writes: list[tuple[np.ndarray, np.ndarray]] = []
+        for phase in range(len(PHASE_OFFSETS)):
+            anchors = geometry.anchors_for_phase(phase)
+            if anchors:
+                arr = np.asarray(anchors, dtype=int)
+                r0 = arr[:, 0] * geometry.half
+                c0 = arr[:, 1] * geometry.half
+                self._phase_reads.append(
+                    (r0[:, None] + self._brow[None, :], c0[:, None] + self._bcol[None, :])
+                )
+                self._phase_writes.append(
+                    (r0[:, None] + self._crow[None, :], c0[:, None] + self._ccol[None, :])
+                )
+            else:
+                empty = np.empty((0, 0), dtype=int)
+                self._phase_reads.append((empty, empty))
+                self._phase_writes.append((empty, empty))
+        #: number of fused solver calls issued (iteration + assembly)
+        self.predict_calls = 0
+        #: total subdomain solves carried by those calls
+        self.subdomains_solved = 0
+
+    # -- iteration ---------------------------------------------------------------
+
+    def run(
+        self,
+        boundary_loops: np.ndarray,
+        tols: np.ndarray | float = 1e-6,
+        max_iterations: np.ndarray | int = 400,
+    ) -> list[FusedOutcome]:
+        """Solve every request of the batch; returns per-request outcomes.
+
+        ``tols`` and ``max_iterations`` may be scalars (shared) or per-request
+        vectors — per-request values do not break fusion.
+        """
+
+        geometry = self.geometry
+        grid = geometry.global_grid()
+        loops = np.asarray(boundary_loops, dtype=float)
+        if loops.ndim != 2 or loops.shape[1] != grid.boundary_size:
+            raise ValueError(
+                f"boundary_loops must have shape (B, {grid.boundary_size}), "
+                f"got {loops.shape}"
+            )
+        num_requests = loops.shape[0]
+        tols = np.broadcast_to(np.asarray(tols, dtype=float), (num_requests,)).copy()
+        budgets = np.broadcast_to(
+            np.asarray(max_iterations, dtype=int), (num_requests,)
+        ).copy()
+        if np.any(budgets < 1):
+            raise ValueError("max_iterations must be at least 1")
+
+        fields = np.stack(
+            [
+                initialize_lattice_field(geometry, loops[i], self.init_mode)
+                for i in range(num_requests)
+            ]
+        )
+        mask = self._lattice_mask
+        previous = fields[:, mask].copy()
+        active = np.ones(num_requests, dtype=bool)
+        iterations = np.zeros(num_requests, dtype=int)
+        converged = np.zeros(num_requests, dtype=bool)
+        deltas: list[list[float]] = [[] for _ in range(num_requests)]
+
+        for iteration in range(1, int(budgets.max()) + 1):
+            if not active.any():
+                break
+            phase = (iteration - 1) % len(PHASE_OFFSETS)
+            idx = np.nonzero(active)[0]
+            read_r, read_c = self._phase_reads[phase]
+            if read_r.size:
+                stacked = fields[idx[:, None, None], read_r[None], read_c[None]]
+                batch, subs, loop_len = stacked.shape
+                predictions = self.solver.predict(
+                    stacked.reshape(batch * subs, loop_len), self._center_coords
+                ).reshape(batch, subs, -1)
+                self.predict_calls += 1
+                self.subdomains_solved += batch * subs
+                write_r, write_c = self._phase_writes[phase]
+                fields[idx[:, None, None], write_r[None], write_c[None]] = predictions
+            iterations[idx] = iteration
+
+            if iteration % self.check_interval == 0:
+                current = fields[idx][:, mask]
+                diff = np.linalg.norm(current - previous[idx], axis=1)
+                denom = np.linalg.norm(previous[idx], axis=1)
+                denom = np.where(denom > 0, denom, 1.0)
+                step_deltas = diff / denom
+                previous[idx] = current
+                for pos, i in enumerate(idx):
+                    deltas[i].append(float(step_deltas[pos]))
+                if iteration >= len(PHASE_OFFSETS):
+                    newly = idx[step_deltas < tols[idx]]
+                    converged[newly] = True
+                    active[newly] = False
+            active &= iterations < budgets
+
+        solutions = self._assemble(fields, loops)
+        return [
+            FusedOutcome(
+                solution=solutions[i],
+                lattice_field=fields[i],
+                iterations=int(iterations[i]),
+                converged=bool(converged[i]),
+                deltas=deltas[i],
+            )
+            for i in range(num_requests)
+        ]
+
+    # -- fused dense assembly ----------------------------------------------------
+
+    def _assemble(self, fields: np.ndarray, loops: np.ndarray) -> list[np.ndarray]:
+        """Dense assembly of every request, fusing anchor chunks across requests.
+
+        Mirrors :func:`~repro.mosaic.assembly.accumulate_dense_predictions`
+        per request (same anchor order, same chunking, same accumulation), so
+        results match ``assemble_solution`` for each request individually.
+        """
+
+        geometry = self.geometry
+        grid = geometry.global_grid()
+        num_requests = fields.shape[0]
+        accumulator = np.zeros_like(fields)
+        # The contribution counts depend only on the geometry (how many
+        # subdomains cover each grid point), so one count field serves every
+        # request of the batch.
+        counts = np.zeros(fields.shape[1:])
+        batch_index = np.arange(num_requests)[:, None, None]
+
+        irow, icol = geometry.interior_local_indices()
+        interior_coords = geometry.interior_local_coordinates()
+        anchor_array = np.asarray(geometry.anchors(), dtype=int)
+        windows_r = anchor_array[:, 0] * geometry.half
+        windows_c = anchor_array[:, 1] * geometry.half
+
+        for start in range(0, len(anchor_array), self.assembly_batch):
+            stop = min(start + self.assembly_batch, len(anchor_array))
+            r0 = windows_r[start:stop]
+            c0 = windows_c[start:stop]
+            rows_b = r0[:, None] + self._brow[None, :]
+            cols_b = c0[:, None] + self._bcol[None, :]
+            rows_i = r0[:, None] + irow[None, :]
+            cols_i = c0[:, None] + icol[None, :]
+            stacked = fields[:, rows_b, cols_b]
+            batch, subs, loop_len = stacked.shape
+            predictions = self.solver.predict(
+                stacked.reshape(batch * subs, loop_len), interior_coords
+            ).reshape(batch, subs, -1)
+            self.predict_calls += 1
+            self.subdomains_solved += batch * subs
+            np.add.at(accumulator, (batch_index, rows_i[None], cols_i[None]), predictions)
+            np.add.at(accumulator, (batch_index, rows_b[None], cols_b[None]), stacked)
+            np.add.at(counts, (rows_i, cols_i), 1.0)
+            np.add.at(counts, (rows_b, cols_b), 1.0)
+
+        return [
+            grid.insert_boundary(loops[i], overlap_average(accumulator[i], counts))
+            for i in range(num_requests)
+        ]

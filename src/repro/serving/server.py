@@ -1,0 +1,264 @@
+"""Synchronous batched-inference server for Mosaic Flow solves.
+
+``Server`` is the front door of the serving subsystem: callers
+:meth:`~Server.submit` canonicalized :class:`~repro.serving.api.SolveRequest`
+objects and :meth:`~Server.drain` completed
+:class:`~repro.serving.api.SolveResult` objects.  Between the two sit the
+pieces the rest of this package provides:
+
+* an LRU :class:`~repro.serving.cache.SolutionCache` answers repeated and
+  near-duplicate requests without any solve,
+* a per-geometry :class:`~repro.serving.batcher.DynamicBatcher` coalesces
+  queued requests into fused batches (size-or-deadline policy, with the
+  batch size optionally chosen by the perfmodel-backed
+  :class:`~repro.serving.estimator.ServingEstimator`),
+* a :class:`~repro.serving.workers.WorkerPool` shards each fused batch
+  across simulated ranks, each running the request-level batched iteration
+  of :class:`~repro.serving.fused.FusedBatchRunner`.
+
+The server is synchronous: batches execute inside ``submit``/``drain`` calls
+once released by the batcher.  Results are collected with ``drain()`` (which
+also flushes every queue) or looked up individually with ``result()``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..mosaic.geometry import MosaicGeometry
+from ..mosaic.solvers import FDSubdomainSolver
+from .api import SolveRequest, SolveResult
+from .batcher import Batch, BatchPolicy, DynamicBatcher
+from .cache import CachedSolution, SolutionCache
+from .estimator import ServingEstimator
+from .stats import ServingStats
+from .workers import WorkerPool
+
+__all__ = ["Server", "default_solver_factory"]
+
+
+def default_solver_factory(geometry: MosaicGeometry) -> FDSubdomainSolver:
+    """Exact finite-difference subdomain solver for ``geometry``."""
+
+    return FDSubdomainSolver(geometry.subdomain_grid(), method="direct")
+
+
+class Server:
+    """Batched, cached, sharded Mosaic Flow solve service.
+
+    Parameters
+    ----------
+    solver_factory:
+        ``solver_factory(geometry) -> SubdomainSolver``; defaults to the
+        exact finite-difference solver.  Use a closure over a trained SDNet
+        for the paper's neural configuration.
+    policy:
+        Batching policy shared by every geometry group.  When ``estimator``
+        is given, each group's ``max_batch_size`` is additionally capped by
+        the estimator's memory/latency recommendation for that geometry.
+    cache:
+        A :class:`SolutionCache`, or ``None`` to disable caching (every
+        request is solved).
+    estimator:
+        Optional :class:`ServingEstimator` used to pick per-geometry batch
+        sizes from the GPU cost model.
+    latency_budget_seconds:
+        Latency budget handed to the estimator's recommendation.
+    world_size:
+        Ranks of the worker pool each fused batch is sharded across.
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        solver_factory=default_solver_factory,
+        policy: BatchPolicy | None = None,
+        cache: SolutionCache | None = None,
+        estimator: ServingEstimator | None = None,
+        latency_budget_seconds: float | None = None,
+        world_size: int = 1,
+        clock=time.monotonic,
+    ):
+        self.solver_factory = solver_factory
+        self.policy = policy or BatchPolicy()
+        self.cache = cache
+        self.estimator = estimator
+        self.latency_budget_seconds = latency_budget_seconds
+        self.world_size = int(world_size)
+        self.clock = clock
+        self.stats = ServingStats()
+        self._batchers: dict[tuple, DynamicBatcher] = {}
+        self._pools: dict[tuple, WorkerPool] = {}
+        self._submit_times: dict[str, float] = {}
+        self._completed: dict[str, SolveResult] = {}
+
+    # -- front-end ----------------------------------------------------------------
+
+    def submit(self, request: SolveRequest) -> str:
+        """Queue one request; returns its id.  May execute released batches."""
+
+        if not isinstance(request, SolveRequest):
+            raise TypeError("submit() takes a SolveRequest; build one with SolveRequest.create")
+        if request.request_id in self._submit_times or request.request_id in self._completed:
+            raise ValueError(f"duplicate request id {request.request_id!r}")
+        now = self.clock()
+        self.stats.record_submit()
+        self._submit_times[request.request_id] = now
+
+        if self.cache is not None:
+            entry = self.cache.get(request)
+            if entry is not None:
+                self.stats.record_cache_hit()
+                self._complete(request.request_id, entry, cache_hit=True, batch_size=0)
+                return request.request_id
+
+        ready = self._batcher_for(request).enqueue(request)
+        self._run_batches(ready)
+        self._run_batches(self.poll())
+        return request.request_id
+
+    def poll(self) -> list[Batch]:
+        """Collect deadline-expired batches from every group (without running)."""
+
+        released: list[Batch] = []
+        for batcher in self._batchers.values():
+            released.extend(batcher.poll())
+        return released
+
+    def drain(self) -> dict[str, SolveResult]:
+        """Flush and execute every queued request; return completed results.
+
+        Returns every result completed since the previous ``drain`` (including
+        cache hits and batches released during ``submit``), keyed by request
+        id, and clears the completed set.
+        """
+
+        for batcher in self._batchers.values():
+            self._run_batches(batcher.flush())
+        completed, self._completed = self._completed, {}
+        return completed
+
+    def result(self, request_id: str) -> SolveResult | None:
+        """Completed result for a request id, or ``None`` if still pending."""
+
+        return self._completed.get(request_id)
+
+    @property
+    def pending(self) -> int:
+        """Requests queued but not yet executed."""
+
+        return sum(batcher.queue_depth for batcher in self._batchers.values())
+
+    # -- internals ----------------------------------------------------------------
+
+    def _batcher_for(self, request: SolveRequest) -> DynamicBatcher:
+        # One batcher per group (rather than one batcher for all groups)
+        # because the estimator makes max_batch_size a per-geometry policy.
+        key = request.group_key
+        batcher = self._batchers.get(key)
+        if batcher is None:
+            max_batch = self.policy.max_batch_size
+            if self.estimator is not None:
+                max_batch = self.estimator.recommend_batch_size(
+                    request.geometry,
+                    latency_budget_seconds=self.latency_budget_seconds,
+                    max_requests=max_batch,
+                )
+            policy = BatchPolicy(
+                max_batch_size=max_batch,
+                max_wait_seconds=self.policy.max_wait_seconds,
+            )
+            batcher = DynamicBatcher(policy, clock=self.clock)
+            self._batchers[key] = batcher
+        return batcher
+
+    def _pool_for(self, request: SolveRequest) -> WorkerPool:
+        key = request.group_key
+        pool = self._pools.get(key)
+        if pool is None:
+            pool = WorkerPool(
+                request.geometry,
+                self.solver_factory,
+                world_size=self.world_size,
+                init_mode=request.init_mode,
+                check_interval=request.check_interval,
+            )
+            self._pools[key] = pool
+        return pool
+
+    def _run_batches(self, batches: list[Batch]) -> None:
+        for batch in batches:
+            self._execute(batch)
+
+    def _execute(self, batch: Batch) -> None:
+        requests = batch.requests
+        # Deduplicate within the batch on the cache key, so identical (or
+        # near-identical) concurrent requests are solved once.
+        if self.cache is not None:
+            unique: dict[tuple, int] = {}
+            assignment = []
+            for request in requests:
+                key = self.cache.key_for(request)
+                if key not in unique:
+                    unique[key] = len(unique)
+                else:
+                    self.stats.record_dedup_hit()
+                assignment.append(unique[key])
+            solve_requests = [None] * len(unique)
+            for request, slot in zip(requests, assignment):
+                if solve_requests[slot] is None:
+                    solve_requests[slot] = request
+        else:
+            solve_requests = list(requests)
+            assignment = list(range(len(requests)))
+
+        pool = self._pool_for(requests[0])
+        loops = np.stack([r.boundary_loop for r in solve_requests])
+        tols = np.array([r.tol for r in solve_requests])
+        budgets = np.array([r.max_iterations for r in solve_requests])
+        outcomes = pool.solve(loops, tols, budgets)
+        self.stats.record_fused_run(len(solve_requests))
+
+        if self.cache is not None:
+            for request, outcome in zip(solve_requests, outcomes):
+                self.cache.put(
+                    request,
+                    CachedSolution(
+                        solution=outcome.solution,
+                        iterations=outcome.iterations,
+                        converged=outcome.converged,
+                        deltas=outcome.deltas,
+                    ),
+                )
+
+        for request, slot in zip(requests, assignment):
+            outcome = outcomes[slot]
+            entry = CachedSolution(
+                solution=outcome.solution,
+                iterations=outcome.iterations,
+                converged=outcome.converged,
+                deltas=outcome.deltas,
+            )
+            self._complete(
+                request.request_id, entry, cache_hit=False,
+                batch_size=len(solve_requests),
+            )
+
+    def _complete(
+        self, request_id: str, entry: CachedSolution, cache_hit: bool, batch_size: int
+    ) -> None:
+        latency = self.clock() - self._submit_times.pop(request_id)
+        self.stats.record_latency(latency)
+        self._completed[request_id] = SolveResult(
+            request_id=request_id,
+            solution=entry.solution.copy(),
+            iterations=entry.iterations,
+            converged=entry.converged,
+            cache_hit=cache_hit,
+            batch_size=batch_size,
+            latency_seconds=latency,
+            deltas=list(entry.deltas),
+        )

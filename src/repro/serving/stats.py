@@ -1,0 +1,116 @@
+"""Serving statistics: latency percentiles, cache effect, batching effect.
+
+The headline numbers a serving layer must report:
+
+* **latency** — per-request submit-to-completion time (p50/p99/mean),
+* **cache hit rate** — fraction of requests answered without any solve
+  (LRU hits at submit plus within-batch deduplication),
+* **solver runs saved** — how many fused predictor runs batching + caching
+  avoided compared to one run per request (the Figure 8 effect at the
+  request level).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ServingStats"]
+
+
+class ServingStats:
+    """Mutable counters of one server instance, with a formatted report."""
+
+    def __init__(self):
+        self.requests = 0
+        self.cache_hits = 0
+        self.dedup_hits = 0
+        self.fused_runs = 0
+        self.solved_requests = 0
+        self.batch_sizes: list[int] = []
+        self.latencies: list[float] = []
+
+    # -- recording ----------------------------------------------------------------
+
+    def record_submit(self) -> None:
+        self.requests += 1
+
+    def record_cache_hit(self) -> None:
+        self.cache_hits += 1
+
+    def record_dedup_hit(self) -> None:
+        self.dedup_hits += 1
+
+    def record_fused_run(self, num_unique: int) -> None:
+        self.fused_runs += 1
+        self.solved_requests += num_unique
+        self.batch_sizes.append(num_unique)
+
+    def record_latency(self, seconds: float) -> None:
+        self.latencies.append(float(seconds))
+
+    # -- derived ------------------------------------------------------------------
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Requests answered without a solve (LRU or in-batch duplicate)."""
+
+        if self.requests == 0:
+            return 0.0
+        return (self.cache_hits + self.dedup_hits) / self.requests
+
+    @property
+    def completed_requests(self) -> int:
+        """Requests answered so far (served from cache, dedup or a solve)."""
+
+        return self.cache_hits + self.dedup_hits + self.solved_requests
+
+    @property
+    def solver_runs_saved(self) -> int:
+        """Predictor runs avoided versus one run per *completed* request.
+
+        Counted over completed requests only, so queued-but-unserved
+        requests are not reported as savings mid-run.
+        """
+
+        return self.completed_requests - self.fused_runs
+
+    @property
+    def mean_batch_size(self) -> float:
+        return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+
+    def latency_percentile(self, percentile: float) -> float:
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(self.latencies, percentile))
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "cache_hits": self.cache_hits,
+            "dedup_hits": self.dedup_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "fused_runs": self.fused_runs,
+            "solved_requests": self.solved_requests,
+            "solver_runs_saved": self.solver_runs_saved,
+            "mean_batch_size": self.mean_batch_size,
+            "latency_mean": float(np.mean(self.latencies)) if self.latencies else 0.0,
+            "latency_p50": self.latency_percentile(50),
+            "latency_p99": self.latency_percentile(99),
+        }
+
+    def report(self) -> str:
+        """Human-readable multi-line summary."""
+
+        d = self.as_dict()
+        lines = [
+            "=== serving stats ===",
+            f"requests          : {d['requests']}",
+            f"cache hits        : {d['cache_hits']} (+{d['dedup_hits']} in-batch dedup)",
+            f"cache hit rate    : {d['cache_hit_rate']:.1%}",
+            f"fused solver runs : {d['fused_runs']} (mean batch {d['mean_batch_size']:.1f})",
+            f"solver runs saved : {d['solver_runs_saved']}",
+            f"latency mean/p50/p99 : "
+            f"{d['latency_mean']*1e3:.2f} / {d['latency_p50']*1e3:.2f} / "
+            f"{d['latency_p99']*1e3:.2f} ms",
+        ]
+        return "\n".join(lines)

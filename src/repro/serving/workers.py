@@ -1,0 +1,109 @@
+"""Worker pool: shard fused batches across simulated ranks.
+
+One fused batch is embarrassingly parallel across requests, so the pool
+splits a batch of ``B`` requests into ``min(world_size, B)`` contiguous
+shards and runs one :class:`~repro.serving.fused.FusedBatchRunner` per rank
+on the :mod:`repro.distributed` backend (threads with MPI semantics; a world
+of one short-circuits to :class:`~repro.distributed.SelfCommunicator`).  Each
+rank builds its own solver through ``solver_factory`` so per-solver counters
+stay independent — exactly how per-GPU model replicas would be held in a real
+deployment.  An allreduce merges the per-rank fused-call counters so the
+server's stats see pool-wide totals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distributed.comm import Communicator, ReduceOp
+from ..distributed.simulated import run_spmd
+from ..mosaic.geometry import MosaicGeometry
+from ..mosaic.solvers import SubdomainSolver
+from .fused import FusedBatchRunner, FusedOutcome
+
+__all__ = ["WorkerPool"]
+
+
+class WorkerPool:
+    """Fixed-size pool of fused-batch workers over the simulated cluster.
+
+    Parameters
+    ----------
+    geometry:
+        Shared geometry of every batch this pool serves.
+    solver_factory:
+        Callable ``solver_factory(geometry) -> SubdomainSolver`` building one
+        solver per rank per batch.
+    world_size:
+        Number of ranks to shard fused batches across.
+    init_mode, check_interval:
+        Forwarded to the per-rank :class:`FusedBatchRunner`.
+    timeout:
+        Per-operation timeout of the simulated communicator.
+    """
+
+    def __init__(
+        self,
+        geometry: MosaicGeometry,
+        solver_factory,
+        world_size: int = 1,
+        init_mode: str = "mean",
+        check_interval: int = 1,
+        timeout: float = 300.0,
+    ):
+        if world_size < 1:
+            raise ValueError("world_size must be at least 1")
+        self.geometry = geometry
+        self.solver_factory = solver_factory
+        self.world_size = int(world_size)
+        self.init_mode = init_mode
+        self.check_interval = int(check_interval)
+        self.timeout = float(timeout)
+        #: pool-wide fused-call counters, accumulated over all solve() calls
+        self.predict_calls = 0
+        self.subdomains_solved = 0
+
+    def solve(
+        self,
+        boundary_loops: np.ndarray,
+        tols: np.ndarray | float = 1e-6,
+        max_iterations: np.ndarray | int = 400,
+    ) -> list[FusedOutcome]:
+        """Solve a fused batch, sharded across the pool's ranks, in order."""
+
+        loops = np.asarray(boundary_loops, dtype=float)
+        num_requests = loops.shape[0]
+        if num_requests == 0:
+            return []
+        tols = np.broadcast_to(np.asarray(tols, dtype=float), (num_requests,)).copy()
+        budgets = np.broadcast_to(
+            np.asarray(max_iterations, dtype=int), (num_requests,)
+        ).copy()
+        world = min(self.world_size, num_requests)
+        shards = np.array_split(np.arange(num_requests), world)
+
+        def rank_program(comm: Communicator) -> tuple[np.ndarray, list[FusedOutcome], np.ndarray]:
+            mine = shards[comm.rank]
+            runner = FusedBatchRunner(
+                self.geometry,
+                self.solver_factory(self.geometry),
+                init_mode=self.init_mode,
+                check_interval=self.check_interval,
+            )
+            outcomes = (
+                runner.run(loops[mine], tols[mine], budgets[mine]) if mine.size else []
+            )
+            totals = comm.allreduce(
+                np.array([runner.predict_calls, runner.subdomains_solved], dtype=float),
+                op=ReduceOp.SUM,
+            )
+            return mine, outcomes, totals
+
+        per_rank = run_spmd(world, rank_program, timeout=self.timeout)
+        merged: list[FusedOutcome | None] = [None] * num_requests
+        for mine, outcomes, totals in per_rank:
+            for index, outcome in zip(mine, outcomes):
+                merged[index] = outcome
+        self.predict_calls += int(per_rank[0][2][0])
+        self.subdomains_solved += int(per_rank[0][2][1])
+        return merged  # type: ignore[return-value]

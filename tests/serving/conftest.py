@@ -1,0 +1,51 @@
+"""Shared fixtures for the serving-layer tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pde import HARMONIC_FUNCTIONS
+from repro.utils import seeded_rng
+
+
+@pytest.fixture()
+def harmonic_loops(small_geometry):
+    """Deterministic batch of boundary loops: random harmonic combinations."""
+
+    def make(count: int, seed: int = 0) -> np.ndarray:
+        grid = small_geometry.global_grid()
+        rng = seeded_rng(seed)
+        names = sorted(HARMONIC_FUNCTIONS)
+        loops = []
+        for _ in range(count):
+            weights = rng.normal(size=len(names))
+            loops.append(
+                grid.boundary_from_function(
+                    lambda x, y, w=weights: sum(
+                        wi * HARMONIC_FUNCTIONS[name](x, y)
+                        for wi, name in zip(w, names)
+                    )
+                )
+            )
+        return np.stack(loops)
+
+    return make
+
+
+class FakeClock:
+    """Deterministic, manually advanced monotonic clock."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def fake_clock() -> FakeClock:
+    return FakeClock()

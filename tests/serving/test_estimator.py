@@ -1,0 +1,70 @@
+"""Perfmodel-backed batch-size recommendations."""
+
+import pytest
+
+from repro.perfmodel import GPU_SPECS
+from repro.serving import ServingEstimator
+
+
+@pytest.fixture()
+def estimator():
+    return ServingEstimator.for_platform("A100", hidden=64, trunk_layers=4)
+
+
+class TestCostModel:
+    def test_throughput_increases_with_batch(self, estimator):
+        boundary, points = 36, 15
+        small = estimator.throughput(1, boundary, points)
+        large = estimator.throughput(1024, boundary, points)
+        assert large > small
+
+    def test_memory_limit_shrinks_with_query_points(self, estimator):
+        boundary = 36
+        few = estimator.max_subdomains_per_call(boundary, 15)
+        many = estimator.max_subdomains_per_call(boundary, 1500)
+        assert few > many >= 1
+
+    def test_latency_monotone_in_batch(self, estimator):
+        boundary, points = 36, 15
+        latencies = [estimator.call_latency(n, boundary, points) for n in (1, 8, 64)]
+        assert latencies == sorted(latencies)
+        with pytest.raises(ValueError):
+            estimator.call_latency(0, boundary, points)
+
+
+class TestRecommendation:
+    def test_respects_caps(self, estimator, small_geometry):
+        unbounded = estimator.recommend_batch_size(small_geometry)
+        assert unbounded >= 1
+        capped = estimator.recommend_batch_size(small_geometry, max_requests=8)
+        assert capped == min(8, unbounded)
+
+    def test_sized_by_worst_case_fused_call(self, estimator, small_geometry):
+        # Both call shapes constrain the batch: iteration calls (largest
+        # placement phase, center-line queries) and dense-assembly calls
+        # (all 9 subdomains/request here, the much larger interior queries).
+        whole_assembly = estimator.recommend_batch_size(small_geometry)
+        chunked_assembly = estimator.recommend_batch_size(
+            small_geometry, assembly_batch=1
+        )
+        assert chunked_assembly >= whole_assembly
+        boundary = small_geometry.subdomain_grid().boundary_size
+        q_center = len(small_geometry.center_line_local_indices()[0])
+        q_interior = len(small_geometry.interior_local_indices()[0])
+        largest_phase = 4  # 3x3 anchor grid, phase (0, 0)
+        expected = min(
+            estimator.max_subdomains_per_call(boundary, q_center) // largest_phase,
+            estimator.max_subdomains_per_call(boundary, q_interior)
+            // small_geometry.num_subdomains,
+        )
+        assert whole_assembly == expected
+
+    def test_latency_budget_shrinks_batch(self, small_geometry):
+        # A slow platform with a tight budget must recommend smaller batches.
+        slow = ServingEstimator(
+            gpu=GPU_SPECS["V100"], hidden=256, trunk_layers=8, efficiency=0.01
+        )
+        loose = slow.recommend_batch_size(small_geometry, latency_budget_seconds=10.0)
+        tight = slow.recommend_batch_size(small_geometry, latency_budget_seconds=1e-7)
+        assert tight <= loose
+        assert tight >= 1

@@ -1,0 +1,193 @@
+"""End-to-end server behaviour: batching, caching, sharding, stats."""
+
+import numpy as np
+import pytest
+
+from repro.mosaic import FDSubdomainSolver, MosaicFlowPredictor, MosaicGeometry
+from repro.serving import (
+    BatchPolicy,
+    Server,
+    ServingEstimator,
+    SolutionCache,
+    SolveRequest,
+)
+
+
+def _server(clock, **kwargs):
+    kwargs.setdefault("policy", BatchPolicy(max_batch_size=8, max_wait_seconds=1e9))
+    kwargs.setdefault("cache", SolutionCache(capacity=64))
+    return Server(clock=clock, **kwargs)
+
+
+class TestSubmitDrain:
+    def test_serves_correct_solutions(self, small_geometry, harmonic_loops, fake_clock):
+        loops = harmonic_loops(6, seed=1)
+        server = _server(fake_clock, world_size=2)
+        ids = [
+            server.submit(
+                SolveRequest.create(small_geometry, loop, tol=1e-6, max_iterations=120)
+            )
+            for loop in loops
+        ]
+        results = server.drain()
+        assert sorted(results) == sorted(ids)
+        solver = FDSubdomainSolver(small_geometry.subdomain_grid())
+        for loop, request_id in zip(loops, ids):
+            reference = MosaicFlowPredictor(small_geometry, solver, batched=True).run(
+                loop, max_iterations=120, tol=1e-6
+            )
+            np.testing.assert_allclose(
+                results[request_id].solution, reference.solution, atol=1e-8, rtol=0
+            )
+            assert results[request_id].iterations == reference.iterations
+
+    def test_batches_fewer_runs_than_requests(self, small_geometry, harmonic_loops,
+                                              fake_clock):
+        loops = harmonic_loops(8, seed=2)
+        server = _server(fake_clock)
+        for loop in loops:
+            server.submit(SolveRequest.create(small_geometry, loop, max_iterations=40))
+        results = server.drain()
+        assert len(results) == 8
+        assert server.stats.fused_runs == 1
+        assert server.stats.solver_runs_saved == 7
+        assert all(r.batch_size == 8 for r in results.values())
+
+    def test_queued_requests_do_not_count_as_savings(self, small_geometry,
+                                                     harmonic_loops, fake_clock):
+        server = _server(fake_clock)  # max_batch_size=8: nothing executes yet
+        for loop in harmonic_loops(3, seed=9):
+            server.submit(SolveRequest.create(small_geometry, loop, max_iterations=30))
+        assert server.pending == 3
+        assert server.stats.solver_runs_saved == 0
+        server.drain()
+        assert server.stats.solver_runs_saved == 2  # 3 completed, 1 fused run
+
+    def test_full_batch_executes_during_submit(self, small_geometry, harmonic_loops,
+                                               fake_clock):
+        loops = harmonic_loops(4, seed=3)
+        server = _server(fake_clock,
+                         policy=BatchPolicy(max_batch_size=2, max_wait_seconds=1e9))
+        ids = [
+            server.submit(SolveRequest.create(small_geometry, loop, max_iterations=30))
+            for loop in loops
+        ]
+        # two full batches of 2 already ran inside submit()
+        assert server.pending == 0
+        assert server.stats.fused_runs == 2
+        assert server.result(ids[0]) is not None
+        assert len(server.drain()) == 4
+
+    def test_deadline_releases_partial_batch(self, small_geometry, harmonic_loops,
+                                             fake_clock):
+        loops = harmonic_loops(2, seed=4)
+        server = _server(fake_clock,
+                         policy=BatchPolicy(max_batch_size=100, max_wait_seconds=5.0))
+        server.submit(SolveRequest.create(small_geometry, loops[0], max_iterations=30))
+        assert server.pending == 1
+        fake_clock.advance(6.0)
+        server.submit(SolveRequest.create(small_geometry, loops[1], max_iterations=30))
+        # the deadline-expired group (both requests) ran inside the second submit
+        assert server.pending == 0
+        assert server.stats.fused_runs == 1
+
+    def test_rejects_duplicate_ids_and_raw_arrays(self, small_geometry, fake_clock):
+        server = _server(fake_clock)
+        size = small_geometry.global_grid().boundary_size
+        request = SolveRequest.create(small_geometry, np.zeros(size))
+        server.submit(request)
+        with pytest.raises(ValueError, match="duplicate"):
+            server.submit(request)
+        with pytest.raises(TypeError):
+            server.submit(np.zeros(size))
+
+
+class TestCachingPaths:
+    def test_lru_hit_skips_solve(self, small_geometry, harmonic_loops, fake_clock):
+        loops = harmonic_loops(2, seed=5)
+        server = _server(fake_clock)
+        first = server.submit(
+            SolveRequest.create(small_geometry, loops[0], max_iterations=40)
+        )
+        server.drain()
+        runs_before = server.stats.fused_runs
+        again = server.submit(
+            SolveRequest.create(small_geometry, loops[0], max_iterations=40)
+        )
+        results = server.drain()
+        assert server.stats.fused_runs == runs_before
+        assert server.stats.cache_hits == 1
+        assert results[again].cache_hit
+        assert np.array_equal(
+            results[again].solution, server.cache.get(
+                SolveRequest.create(small_geometry, loops[0], max_iterations=40)
+            ).solution,
+        )
+        assert first != again
+
+    def test_in_batch_duplicates_solved_once(self, small_geometry, harmonic_loops,
+                                             fake_clock):
+        loops = harmonic_loops(1, seed=6)
+        server = _server(fake_clock)
+        ids = [
+            server.submit(
+                SolveRequest.create(small_geometry, loops[0], max_iterations=40)
+            )
+            for _ in range(3)
+        ]
+        results = server.drain()
+        assert server.stats.fused_runs == 1
+        assert server.stats.dedup_hits == 2
+        assert server.stats.cache_hit_rate == pytest.approx(2 / 3)
+        # batch_size reports the fused solver run's actual row count (1
+        # unique BVP), not the number of requests it answered.
+        assert all(results[i].batch_size == 1 for i in ids)
+        a, b, c = (results[i].solution for i in ids)
+        assert np.array_equal(a, b) and np.array_equal(b, c)
+
+    def test_stats_report_renders(self, small_geometry, harmonic_loops, fake_clock):
+        server = _server(fake_clock)
+        server.submit(
+            SolveRequest.create(small_geometry, harmonic_loops(1, seed=7)[0],
+                                max_iterations=30)
+        )
+        server.drain()
+        report = server.stats.report()
+        assert "requests" in report and "p99" in report
+        d = server.stats.as_dict()
+        assert d["requests"] == 1 and d["fused_runs"] == 1
+
+
+class TestMixedGeometries:
+    def test_groups_run_separately_but_all_complete(self, small_geometry, fake_clock):
+        other = MosaicGeometry(subdomain_points=9, subdomain_extent=0.5,
+                               steps_x=6, steps_y=4)
+        server = _server(fake_clock)
+        ids = []
+        for geometry in (small_geometry, other, small_geometry, other):
+            grid = geometry.global_grid()
+            loop = grid.boundary_from_function(lambda x, y: x + 2 * y)
+            ids.append(
+                server.submit(
+                    SolveRequest.create(geometry, loop, max_iterations=40)
+                )
+            )
+        results = server.drain()
+        assert len(results) == 4
+        assert server.stats.fused_runs == 2  # one per geometry group
+
+    def test_estimator_caps_batch_size(self, small_geometry, harmonic_loops, fake_clock):
+        # Absurdly slow platform + tight budget -> batches of one.
+        estimator = ServingEstimator.for_platform("V100", hidden=512, trunk_layers=8,
+                                                  efficiency=1e-6)
+        server = _server(
+            fake_clock,
+            policy=BatchPolicy(max_batch_size=64, max_wait_seconds=1e9),
+            estimator=estimator,
+            latency_budget_seconds=1e-9,
+        )
+        for loop in harmonic_loops(3, seed=8):
+            server.submit(SolveRequest.create(small_geometry, loop, max_iterations=20))
+        server.drain()
+        assert server.stats.fused_runs == 3
+        assert server.stats.mean_batch_size == 1.0
