@@ -1,0 +1,105 @@
+"""Composite domains: solve an L-shaped plate with Mosaic Flow.
+
+The Mosaic Flow decomposition transfers a subdomain solver to *unseen*
+target geometries; this example exercises the irregular case end to end:
+
+1. build an L-shaped :class:`CompositeDomain` (a plate with a notch cut out
+   of one corner) and its :class:`CompositeMosaicGeometry`,
+2. solve a Laplace boundary value problem on it with the unchanged
+   ``MosaicFlowPredictor`` — only anchors inside the domain are iterated and
+   the Dirichlet data follows the true re-entrant boundary loop,
+3. compare against the masked finite-difference reference solve, and
+4. contrast the anchor/solve counts with the naive bounding-box alternative.
+
+Run with::
+
+    python examples/composite_domain.py [--steps 8] [--notch 4] [--subdomain-points 9]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.domains import (
+    CompositeDomain,
+    CompositeMosaicGeometry,
+    composite_reference_solution,
+)
+from repro.mosaic import FDSubdomainSolver, MosaicFlowPredictor
+from repro.utils import seeded_rng
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=8,
+                        help="bounding-box size in half-subdomain steps")
+    parser.add_argument("--notch", type=int, default=4,
+                        help="notch size in half-subdomain steps")
+    parser.add_argument("--subdomain-points", type=int, default=9,
+                        help="grid points per subdomain side (odd)")
+    parser.add_argument("--seed", type=int, default=0)
+    return parser.parse_args()
+
+
+def render_domain(geometry: CompositeMosaicGeometry) -> str:
+    """Tiny ASCII picture of the step-cell layout (top row printed first)."""
+
+    cells = geometry.domain.cell_mask()
+    return "\n".join(
+        "  " + "".join("#" if covered else "." for covered in row)
+        for row in cells[::-1]
+    )
+
+
+def main() -> None:
+    args = parse_args()
+    rng = seeded_rng(args.seed)
+
+    # ------------------------------------------------------------- geometry
+    domain = CompositeDomain.l_shape(args.steps, args.steps, args.notch, args.notch)
+    geometry = CompositeMosaicGeometry(args.subdomain_points, 0.5, domain)
+    box = geometry.box
+    print("[1/3] L-shaped composite domain "
+          f"({domain.num_cells} of {args.steps * args.steps} step cells):")
+    print(render_domain(geometry))
+    print(f"  anchors: {geometry.num_subdomains} "
+          f"(bounding box would use {box.num_subdomains})")
+    print(f"  boundary loop: {geometry.global_boundary_size} samples along "
+          f"{len(domain.boundary_corners)} corners")
+
+    # ------------------------------------------------------------- solve
+    weights = rng.normal(size=3)
+    loop = geometry.boundary_from_function(
+        lambda x, y: weights[0] * (x * x - y * y)
+        + weights[1] * x * y
+        + weights[2] * (x - 2.0 * y)
+    )
+    solver = FDSubdomainSolver(geometry.subdomain_grid(), method="direct")
+    predictor = MosaicFlowPredictor(geometry, solver, batched=True)
+    print("[2/3] Running the Mosaic Flow iteration ...")
+    tic = time.perf_counter()
+    result = predictor.run(loop, max_iterations=400, tol=1e-8)
+    elapsed = time.perf_counter() - tic
+    print(f"  converged={result.converged} after {result.iterations} iterations "
+          f"({elapsed:.2f}s, {solver.inference_calls} subdomain solves)")
+
+    # ------------------------------------------------------------- evaluate
+    print("[3/3] Masked finite-difference reference on the composite grid ...")
+    reference = composite_reference_solution(geometry, loop)
+    valid = geometry.valid_mask()
+    difference = np.abs(result.solution[valid] - reference[valid])
+    print(f"  MAE vs reference: {difference.mean():.3e}")
+    print(f"  max abs difference: {difference.max():.3e}")
+    print(f"  anchor savings vs bounding box: "
+          f"{1.0 - geometry.num_subdomains / box.num_subdomains:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,7 +19,10 @@ The package implements, from scratch and on top of numpy only:
   regenerate the paper's performance figures,
 * ``repro.serving`` — the batched inference service: request validation,
   dynamic batching, solution caching and worker-pool sharding in front of
-  the Mosaic Flow predictor.
+  the Mosaic Flow predictor,
+* ``repro.domains`` — composite (non-rectangular) target domains:
+  union-of-rectangles geometries, masked reference solves and load-balanced
+  anchor sharding.
 """
 
 __version__ = "0.1.0"
@@ -34,20 +37,31 @@ _SERVING_EXPORTS = (
     "ServingEstimator",
 )
 
-__all__ = ["__version__", "serving", *_SERVING_EXPORTS]
+#: composite-domain names re-exported at the package top level
+_DOMAINS_EXPORTS = (
+    "CompositeDomain",
+    "CompositeMosaicGeometry",
+    "composite_reference_solution",
+    "sharded_assemble",
+)
+
+__all__ = ["__version__", "serving", "domains", *_SERVING_EXPORTS, *_DOMAINS_EXPORTS]
 
 
 def __getattr__(name: str):
-    """Lazily expose the serving subsystem (PEP 562).
+    """Lazily expose the serving and domains subsystems (PEP 562).
 
     Keeps ``import repro`` free of subpackage import costs while still
-    allowing ``repro.Server`` / ``repro.serving`` without an explicit
-    subpackage import.
+    allowing ``repro.Server`` / ``repro.CompositeDomain`` / ``repro.serving``
+    without an explicit subpackage import.
     """
 
-    if name == "serving" or name in _SERVING_EXPORTS:
-        import importlib
+    import importlib
 
+    if name == "serving" or name in _SERVING_EXPORTS:
         serving = importlib.import_module(__name__ + ".serving")
         return serving if name == "serving" else getattr(serving, name)
+    if name == "domains" or name in _DOMAINS_EXPORTS:
+        domains = importlib.import_module(__name__ + ".domains")
+        return domains if name == "domains" else getattr(domains, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

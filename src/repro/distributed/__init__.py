@@ -6,6 +6,7 @@ from .cartesian import (
     block_range,
     choose_grid_dims,
     morton_encode,
+    shard_anchors,
 )
 from .comm import CommunicationTrace, Communicator, ReduceOp, payload_bytes
 from .costmodel import INTERCONNECTS, AlphaBetaModel, estimate_trace_time
@@ -25,6 +26,7 @@ __all__ = [
     "block_range",
     "choose_grid_dims",
     "morton_encode",
+    "shard_anchors",
     "AlphaBetaModel",
     "INTERCONNECTS",
     "estimate_trace_time",

@@ -1,0 +1,296 @@
+"""Composite (non-rectangular) domains as unions of axis-aligned rectangles.
+
+A :class:`CompositeDomain` describes the *shape* of a target domain on the
+half-subdomain step lattice of the Mosaic Flow decomposition: the union of
+axis-aligned rectangles whose corners sit on that lattice.  L-shapes, T-shapes,
+plus-shapes, notched plates and staircases are all expressible; the shape is
+purely combinatorial (integer step units) and independent of the subdomain
+resolution, which :class:`~repro.domains.geometry.CompositeMosaicGeometry`
+adds on top.
+
+The domain is validated at construction: it must be non-empty, edge-connected,
+free of holes and free of *pinched* corners (two boundary loops meeting at a
+point), so that its boundary is a single closed axis-aligned polygon.  The
+boundary is traced counter-clockwise starting from the bottom-left-most
+corner and reported as maximal straight segments; for a plain rectangle this
+reproduces exactly the bottom/right/top/left edge order (with corners shared
+between consecutive edges) of the :class:`~repro.fd.grid.Grid2D` boundary-loop
+convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+__all__ = ["CompositeDomain"]
+
+#: step offsets of the four edge-neighbouring cells
+_CELL_NEIGHBORS = ((-1, 0), (1, 0), (0, -1), (0, 1))
+
+
+@dataclass(frozen=True)
+class CompositeDomain:
+    """Union of axis-aligned rectangles on the half-subdomain step lattice.
+
+    Parameters
+    ----------
+    rects:
+        Tuple of rectangles ``(row0, col0, rows, cols)`` in half-subdomain
+        step units: the rectangle covers step cells ``[row0, row0+rows) x
+        [col0, col0+cols)``.  Rectangles may overlap; the domain is their
+        union.  Use :meth:`from_rects` (which normalizes the placement so the
+        bounding box starts at the origin) rather than the raw constructor.
+    """
+
+    rects: tuple[tuple[int, int, int, int], ...]
+
+    def __post_init__(self):
+        if not self.rects:
+            raise ValueError("a CompositeDomain needs at least one rectangle")
+        for rect in self.rects:
+            row0, col0, rows, cols = rect
+            if rows < 1 or cols < 1:
+                raise ValueError(f"rectangle {rect} has a non-positive side")
+        if min(r[0] for r in self.rects) != 0 or min(r[1] for r in self.rects) != 0:
+            raise ValueError(
+                "rectangles must be normalized so the bounding box starts at "
+                "(0, 0); build the domain with CompositeDomain.from_rects"
+            )
+        # Validate connectivity and the boundary topology eagerly so every
+        # constructed domain is known to be a single hole-free polygon.
+        self._check_connected()
+        _ = self.boundary_corners
+
+    # -- construction ----------------------------------------------------------------
+
+    @classmethod
+    def from_rects(cls, rects) -> "CompositeDomain":
+        """Build a domain from rectangles, translating them to the origin."""
+
+        rects = tuple((int(r), int(c), int(h), int(w)) for r, c, h, w in rects)
+        if not rects:
+            raise ValueError("a CompositeDomain needs at least one rectangle")
+        row_min = min(r[0] for r in rects)
+        col_min = min(r[1] for r in rects)
+        return cls(tuple((r - row_min, c - col_min, h, w) for r, c, h, w in rects))
+
+    @classmethod
+    def rectangle(cls, steps_x: int, steps_y: int) -> "CompositeDomain":
+        """A plain ``steps_x x steps_y`` rectangle (the classical Mosaic case)."""
+
+        return cls(((0, 0, int(steps_y), int(steps_x)),))
+
+    @classmethod
+    def l_shape(
+        cls, steps_x: int, steps_y: int, notch_x: int, notch_y: int
+    ) -> "CompositeDomain":
+        """An L: the ``steps_x x steps_y`` box minus its top-right notch."""
+
+        steps_x, steps_y = int(steps_x), int(steps_y)
+        notch_x, notch_y = int(notch_x), int(notch_y)
+        if not (0 < notch_x < steps_x and 0 < notch_y < steps_y):
+            raise ValueError(
+                f"notch ({notch_x}, {notch_y}) must be strictly inside the "
+                f"({steps_x}, {steps_y}) bounding box"
+            )
+        return cls(
+            (
+                (0, 0, steps_y - notch_y, steps_x),
+                (steps_y - notch_y, 0, notch_y, steps_x - notch_x),
+            )
+        )
+
+    @classmethod
+    def t_shape(cls, bar_x: int, bar_y: int, stem_x: int, stem_y: int) -> "CompositeDomain":
+        """A T: a ``bar_x x bar_y`` top bar over a centred ``stem_x x stem_y`` stem."""
+
+        bar_x, bar_y, stem_x, stem_y = int(bar_x), int(bar_y), int(stem_x), int(stem_y)
+        if stem_x > bar_x:
+            raise ValueError("the stem cannot be wider than the bar")
+        offset = (bar_x - stem_x) // 2
+        return cls.from_rects(
+            (
+                (stem_y, 0, bar_y, bar_x),
+                (0, offset, stem_y, stem_x),
+            )
+        )
+
+    @classmethod
+    def plus_shape(cls, arm: int, thickness: int) -> "CompositeDomain":
+        """A plus: two centred ``(2*arm + thickness)``-long crossing bars."""
+
+        arm, thickness = int(arm), int(thickness)
+        span = 2 * arm + thickness
+        return cls.from_rects(
+            (
+                (arm, 0, thickness, span),
+                (0, arm, span, thickness),
+            )
+        )
+
+    @classmethod
+    def from_cells(cls, cells: np.ndarray) -> "CompositeDomain":
+        """Build a domain from a boolean cell mask (row-run decomposition)."""
+
+        cells = np.asarray(cells, dtype=bool)
+        if cells.ndim != 2 or not cells.any():
+            raise ValueError("cells must be a non-empty 2-D boolean mask")
+        rects = []
+        for i in range(cells.shape[0]):
+            j = 0
+            while j < cells.shape[1]:
+                if cells[i, j]:
+                    start = j
+                    while j < cells.shape[1] and cells[i, j]:
+                        j += 1
+                    rects.append((i, start, 1, j - start))
+                else:
+                    j += 1
+        return cls.from_rects(rects)
+
+    # -- cell-level queries -----------------------------------------------------------
+
+    @property
+    def steps_x(self) -> int:
+        """Half-subdomain steps spanned by the bounding box along x."""
+
+        return max(r[1] + r[3] for r in self.rects)
+
+    @property
+    def steps_y(self) -> int:
+        return max(r[0] + r[2] for r in self.rects)
+
+    @cached_property
+    def _cells(self) -> np.ndarray:
+        cells = np.zeros((self.steps_y, self.steps_x), dtype=bool)
+        for row0, col0, rows, cols in self.rects:
+            cells[row0: row0 + rows, col0: col0 + cols] = True
+        cells.flags.writeable = False
+        return cells
+
+    def cell_mask(self) -> np.ndarray:
+        """Boolean mask of covered step cells, shape ``(steps_y, steps_x)``."""
+
+        return self._cells.copy()
+
+    @property
+    def num_cells(self) -> int:
+        return int(self._cells.sum())
+
+    @property
+    def is_rectangle(self) -> bool:
+        """Whether the union is exactly its bounding box."""
+
+        return bool(self._cells.all())
+
+    def contains_cell(self, row: int, col: int) -> bool:
+        cells = self._cells
+        return (
+            0 <= row < cells.shape[0]
+            and 0 <= col < cells.shape[1]
+            and bool(cells[row, col])
+        )
+
+    def _check_connected(self) -> None:
+        cells = self._cells
+        covered = list(zip(*np.nonzero(cells)))
+        seen = {covered[0]}
+        stack = [covered[0]]
+        while stack:
+            i, j = stack.pop()
+            for di, dj in _CELL_NEIGHBORS:
+                nb = (i + di, j + dj)
+                if nb not in seen and self.contains_cell(*nb):
+                    seen.add(nb)
+                    stack.append(nb)
+        if len(seen) != len(covered):
+            raise ValueError(
+                f"composite domain is not edge-connected: {len(covered) - len(seen)} "
+                f"of {len(covered)} cells are unreachable from cell {covered[0]}"
+            )
+
+    # -- boundary tracing -------------------------------------------------------------
+
+    @cached_property
+    def boundary_corners(self) -> tuple[tuple[int, int], ...]:
+        """Corners ``(row, col)`` of the boundary polygon, counter-clockwise.
+
+        The trace starts at the bottom-left-most corner heading right (+x);
+        consecutive corners differ along exactly one axis.  The first corner
+        is not repeated at the end.  Raises :class:`ValueError` for pinched
+        corners or interior holes.
+        """
+
+        cells = self._cells
+        # Directed unit edges (start -> end in corner coordinates), oriented
+        # counter-clockwise: the domain interior lies to the left of travel.
+        outgoing: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        for i, j in zip(*np.nonzero(cells)):
+            i, j = int(i), int(j)
+            if not self.contains_cell(i - 1, j):   # bottom edge, heading +x
+                outgoing.setdefault((i, j), []).append((i, j + 1))
+            if not self.contains_cell(i, j + 1):   # right edge, heading +y
+                outgoing.setdefault((i, j + 1), []).append((i + 1, j + 1))
+            if not self.contains_cell(i + 1, j):   # top edge, heading -x
+                outgoing.setdefault((i + 1, j + 1), []).append((i + 1, j))
+            if not self.contains_cell(i, j - 1):   # left edge, heading -y
+                outgoing.setdefault((i + 1, j), []).append((i, j))
+
+        num_edges = sum(len(ends) for ends in outgoing.values())
+        start = min(outgoing)
+        path = [start]
+        current = start
+        while True:
+            ends = outgoing.get(current, [])
+            if len(ends) != 1:
+                raise ValueError(
+                    f"composite domain boundary is pinched at corner {current}: "
+                    f"the domain touches itself at a point; thicken the "
+                    f"connection to at least one full step"
+                )
+            nxt = ends.pop()
+            if not ends:
+                del outgoing[current]
+            if nxt == start:
+                break
+            path.append(nxt)
+            current = nxt
+        if outgoing:
+            raise ValueError(
+                f"composite domain has interior holes ({num_edges - len(path)} "
+                f"boundary edges remain after tracing the outer loop); holes "
+                f"are not supported"
+            )
+
+        # Merge collinear unit edges into maximal polygon corners.
+        corners: list[tuple[int, int]] = []
+        n = len(path)
+        for k in range(n):
+            prev_pt, pt, next_pt = path[k - 1], path[k], path[(k + 1) % n]
+            direction_in = (pt[0] - prev_pt[0], pt[1] - prev_pt[1])
+            direction_out = (next_pt[0] - pt[0], next_pt[1] - pt[1])
+            if direction_in != direction_out:
+                corners.append(pt)
+        return tuple(corners)
+
+    def boundary_segments(self) -> tuple[tuple[tuple[int, int], tuple[int, int]], ...]:
+        """Maximal straight boundary segments ``((r0, c0), (r1, c1))``, CCW.
+
+        The segments form a closed loop: each ends where the next begins, and
+        the last ends at the first's start.  For a rectangle this is exactly
+        bottom, right, top, left.
+        """
+
+        corners = self.boundary_corners
+        return tuple(
+            (corners[k], corners[(k + 1) % len(corners)]) for k in range(len(corners))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompositeDomain({self.steps_x}x{self.steps_y} steps, "
+            f"{len(self.rects)} rects, {self.num_cells} cells)"
+        )

@@ -8,6 +8,7 @@ and for evaluating the Mosaic Flow predictor.
 from .discretize import apply_laplacian, assemble_poisson, laplacian_matrix, poisson_rhs
 from .grid import Grid2D, boundary_loop_indices
 from .krylov import conjugate_gradient
+from .masked import assemble_poisson_masked, solve_laplace_masked, solve_poisson_masked
 from .multigrid import GeometricMultigrid, prolongation_1d
 from .smoothers import gauss_seidel, get_smoother, sor, weighted_jacobi
 from .solve import solve_laplace, solve_laplace_from_loop, solve_poisson
@@ -19,6 +20,9 @@ __all__ = [
     "poisson_rhs",
     "assemble_poisson",
     "apply_laplacian",
+    "assemble_poisson_masked",
+    "solve_poisson_masked",
+    "solve_laplace_masked",
     "GeometricMultigrid",
     "prolongation_1d",
     "conjugate_gradient",

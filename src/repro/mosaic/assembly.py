@@ -105,14 +105,17 @@ def assemble_solution(
 
     Convenience wrapper used by the single-process predictors: predicts every
     subdomain, averages overlaps and restores the exact global Dirichlet data
-    if ``boundary_loop`` is given.
+    if ``boundary_loop`` is given.  On composite geometries the anchors cover
+    exactly the domain, so points outside it keep a zero count and stay zero
+    (the masked weighted average never mixes in out-of-domain values).
     """
 
     accumulator, counts = accumulate_dense_predictions(
         field, geometry, solver, geometry.anchors(), batch_size=batch_size
     )
     solution = overlap_average(accumulator, counts)
-    grid = geometry.global_grid()
     if boundary_loop is not None:
-        solution = grid.insert_boundary(np.asarray(boundary_loop, dtype=float), solution)
+        solution = geometry.insert_global_boundary(
+            np.asarray(boundary_loop, dtype=float), solution
+        )
     return solution

@@ -404,6 +404,12 @@ class DistributedMosaicFlowPredictor:
         owned_lattice = np.zeros_like(lattice_mask_local)
         owned_lattice[owned_rows, owned_cols] = lattice_mask_local[owned_rows, owned_cols]
 
+        # Phases with no anchors anywhere (thin lattices) leave the global
+        # field unchanged; precomputed once so convergence checks stay cheap.
+        phase_has_anchors = [
+            bool(geometry.anchors_for_phase(phase)) for phase in range(len(PHASE_OFFSETS))
+        ]
+
         previous = local[owned_lattice].copy()
         deltas: list[float] = []
         mae_history: list[tuple[int, float]] = []
@@ -467,7 +473,14 @@ class DistributedMosaicFlowPredictor:
                     mae_history.append((iteration, mae))
                     if target_mae is not None and mae < target_mae:
                         converged = True
-                if delta < tol and iteration >= len(PHASE_OFFSETS):
+                # As in the single-process predictor: a tolerance stop needs
+                # a phase that processed anchors (globally) since the last
+                # check, so all-empty windows never fake convergence.
+                window_active = any(
+                    phase_has_anchors[(it - 1) % len(PHASE_OFFSETS)]
+                    for it in range(iteration - check_interval + 1, iteration + 1)
+                )
+                if delta < tol and iteration >= len(PHASE_OFFSETS) and window_active:
                     converged = True
                 timings["convergence_check"] = (
                     timings.get("convergence_check", 0.0) + time.perf_counter() - tic

@@ -63,7 +63,11 @@ class MosaicGeometry:
         if self.subdomain_points < 5 or self.subdomain_points % 2 == 0:
             raise ValueError("subdomain_points must be odd and at least 5")
         if self.steps_x < 2 or self.steps_y < 2:
-            raise ValueError("the domain must span at least one full subdomain per axis")
+            raise ValueError(
+                f"the domain must span at least one full subdomain (2 half-subdomain "
+                f"steps) per axis to place any anchor, got steps "
+                f"({self.steps_x}, {self.steps_y})"
+            )
         if self.subdomain_extent <= 0:
             raise ValueError("subdomain_extent must be positive")
 
@@ -110,6 +114,12 @@ class MosaicGeometry:
     def num_subdomains(self) -> int:
         return self.anchor_rows * self.anchor_cols
 
+    @property
+    def is_rectangular(self) -> bool:
+        """Whether the domain is a plain axis-aligned rectangle."""
+
+        return True
+
     # -- grids ------------------------------------------------------------------------
 
     def global_grid(self, origin: tuple[float, float] = (0.0, 0.0)) -> Grid2D:
@@ -121,6 +131,56 @@ class MosaicGeometry:
             extent=self.global_extent,
             origin=origin,
         )
+
+    # -- global boundary (shared interface with CompositeMosaicGeometry) --------------
+    #
+    # The predictors, the fused runner and the serving layer never assume the
+    # domain is a rectangle: they go through the accessors below, which the
+    # composite geometry of :mod:`repro.domains` implements for re-entrant
+    # boundaries.
+
+    @property
+    def global_boundary_size(self) -> int:
+        """Number of samples in the global Dirichlet boundary loop."""
+
+        return self.global_grid().boundary_size
+
+    def global_boundary_indices(self) -> tuple[np.ndarray, np.ndarray]:
+        """(row, col) global grid indices tracing the domain boundary loop."""
+
+        return self.global_grid().boundary_indices()
+
+    def global_boundary_coordinates(self) -> np.ndarray:
+        """Physical coordinates of the boundary loop samples, shape ``(n, 2)``."""
+
+        return self.global_grid().boundary_coordinates()
+
+    def boundary_from_function(self, fn) -> np.ndarray:
+        """Sample ``fn(x, y)`` along the global boundary loop."""
+
+        return self.global_grid().boundary_from_function(fn)
+
+    def insert_global_boundary(
+        self, boundary_loop: np.ndarray, field: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Write the global boundary loop into a (new or existing) field."""
+
+        return self.global_grid().insert_boundary(boundary_loop, field)
+
+    def valid_mask(self) -> np.ndarray:
+        """Boolean mask of grid points inside (or on the boundary of) the domain."""
+
+        return np.ones((self.global_ny, self.global_nx), dtype=bool)
+
+    def boundary_point_mask(self) -> np.ndarray:
+        """Boolean mask of grid points on the domain boundary."""
+
+        return self.global_grid().boundary_mask()
+
+    def interior_mask(self) -> np.ndarray:
+        """Boolean mask of grid points strictly inside the domain."""
+
+        return self.valid_mask() & ~self.boundary_point_mask()
 
     def subdomain_grid(self) -> Grid2D:
         """The local grid of one atomic subdomain (origin at its corner)."""
@@ -221,6 +281,17 @@ class MosaicGeometry:
     ) -> "MosaicGeometry":
         """Build a geometry covering ``domain_size`` (must be a multiple of half the subdomain)."""
 
+        if domain_size[0] <= 0 or domain_size[1] <= 0:
+            raise ValueError(f"domain_size must be positive, got {tuple(domain_size)}")
+        if (
+            domain_size[0] < subdomain_extent - 1e-9
+            or domain_size[1] < subdomain_extent - 1e-9
+        ):
+            raise ValueError(
+                f"domain_size {tuple(domain_size)} is too small for a single "
+                f"{subdomain_extent} x {subdomain_extent} subdomain: the Mosaic "
+                f"lattice needs at least one full subdomain (one anchor) per axis"
+            )
         half_extent = subdomain_extent / 2.0
         steps_x = round(domain_size[0] / half_extent)
         steps_y = round(domain_size[1] / half_extent)

@@ -35,23 +35,33 @@ def initialize_lattice_field(
 
     ``mode`` is ``"mean"`` (interior set to the boundary mean, the default),
     ``"zero"``, or ``"linear"`` (bilinear blend of the four edges — a cheap
-    but effective warm start).
+    but effective warm start, rectangular domains only).
+
+    ``geometry`` may be a rectangular :class:`MosaicGeometry` or a
+    :class:`~repro.domains.geometry.CompositeMosaicGeometry`; for composite
+    domains the Dirichlet data follows the re-entrant boundary loop and only
+    grid points inside the domain are filled (the rest stay zero).
     """
 
-    grid = geometry.global_grid()
     boundary_loop = np.asarray(boundary_loop, dtype=float)
-    field_array = grid.insert_boundary(boundary_loop)
+    field_array = geometry.insert_global_boundary(boundary_loop)
     if mode == "zero":
-        fill = np.zeros((grid.ny - 2, grid.nx - 2))
+        pass  # insert_global_boundary starts from zeros
     elif mode == "mean":
-        fill = np.full((grid.ny - 2, grid.nx - 2), float(boundary_loop.mean()))
+        field_array[geometry.interior_mask()] = float(boundary_loop.mean())
     elif mode == "linear":
+        if not geometry.is_rectangular:
+            raise ValueError(
+                "init mode 'linear' (Coons patch of the four edges) is only "
+                "defined on rectangular domains; use 'mean' or 'zero' for "
+                "composite domains"
+            )
         # Transfinite (Coons) interpolation of the four edges.
         bottom = field_array[0, :]
         top = field_array[-1, :]
         left = field_array[:, 0]
         right = field_array[:, -1]
-        ny, nx = grid.ny, grid.nx
+        ny, nx = geometry.global_ny, geometry.global_nx
         s = np.linspace(0.0, 1.0, nx)[None, :]
         t = np.linspace(0.0, 1.0, ny)[:, None]
         blend = (
@@ -64,10 +74,9 @@ def initialize_lattice_field(
             - (1 - s) * t * field_array[-1, 0]
             - s * t * field_array[-1, -1]
         )
-        fill = blend[1:-1, 1:-1]
+        field_array[1:-1, 1:-1] = blend[1:-1, 1:-1]
     else:
         raise ValueError("mode must be 'mean', 'zero' or 'linear'")
-    field_array[1:-1, 1:-1] = fill
     return field_array
 
 
@@ -97,7 +106,11 @@ class MosaicFlowPredictor:
     Parameters
     ----------
     geometry:
-        Interface-lattice geometry of the target domain.
+        Interface-lattice geometry of the target domain — rectangular
+        (:class:`MosaicGeometry`) or composite
+        (:class:`~repro.domains.geometry.CompositeMosaicGeometry`); the
+        iteration only ever touches the geometry's enumerated anchors and
+        masks, so non-rectangular domains need no special casing here.
     solver:
         Subdomain solver (neural or finite-difference).
     batched:
@@ -128,6 +141,12 @@ class MosaicFlowPredictor:
         self._brow, self._bcol = geometry.boundary_loop_local_indices()
         self._crow, self._ccol = geometry.center_line_local_indices()
         self._center_coords = geometry.center_line_local_coordinates()
+        # Phases that process no anchors (possible on composite domains and
+        # thin lattices) leave the field unchanged; their zero delta must not
+        # count as convergence.
+        self._phase_has_anchors = [
+            bool(geometry.anchors_for_phase(phase)) for phase in range(len(PHASE_OFFSETS))
+        ]
 
     # -- one iteration -----------------------------------------------------------
 
@@ -184,7 +203,8 @@ class MosaicFlowPredictor:
         ----------
         boundary_loop:
             Dirichlet data along the global boundary loop
-            (length ``global_grid().boundary_size``).
+            (length ``geometry.global_boundary_size``; for composite domains
+            this is the re-entrant boundary loop of the domain polygon).
         max_iterations:
             Iteration budget (each iteration processes one placement phase).
         tol:
@@ -203,11 +223,11 @@ class MosaicFlowPredictor:
         """
 
         geometry = self.geometry
-        grid = geometry.global_grid()
         boundary_loop = np.asarray(boundary_loop, dtype=float)
-        if boundary_loop.shape != (grid.boundary_size,):
+        if boundary_loop.shape != (geometry.global_boundary_size,):
             raise ValueError(
-                f"boundary loop must have length {grid.boundary_size}, got {boundary_loop.shape}"
+                f"boundary loop must have length {geometry.global_boundary_size}, "
+                f"got {boundary_loop.shape}"
             )
         field_array = initialize_lattice_field(geometry, boundary_loop, self.init_mode)
         lattice_mask = geometry.lattice_mask()
@@ -241,7 +261,14 @@ class MosaicFlowPredictor:
                 timings["convergence_check"] = (
                     timings.get("convergence_check", 0.0) + time.perf_counter() - tic
                 )
-                if delta < tol and iteration >= len(PHASE_OFFSETS):
+                # A tolerance stop requires that some phase since the last
+                # check actually processed anchors — an all-empty window has
+                # delta exactly 0 without any progress being made.
+                window_active = any(
+                    self._phase_has_anchors[(it - 1) % len(PHASE_OFFSETS)]
+                    for it in range(iteration - check_interval + 1, iteration + 1)
+                )
+                if delta < tol and iteration >= len(PHASE_OFFSETS) and window_active:
                     converged = True
                 if converged:
                     break

@@ -30,6 +30,19 @@ from ..mosaic.geometry import MosaicGeometry
 
 __all__ = ["RequestValidationError", "SolveRequest", "SolveResult"]
 
+
+def _geometry_types() -> tuple:
+    """Geometry types the serving layer accepts.
+
+    Both expose the shared interface the fused runner iterates over.  The
+    composite type is imported lazily so the request API does not eagerly
+    pull in :mod:`repro.domains` (and its masked-FD scipy dependencies).
+    """
+
+    from ..domains.geometry import CompositeMosaicGeometry
+
+    return (MosaicGeometry, CompositeMosaicGeometry)
+
 _INIT_MODES = ("zero", "mean", "linear")
 
 _id_counter = itertools.count()
@@ -60,7 +73,8 @@ class SolveRequest:
         Interface-lattice geometry of the target domain.
     boundary_loop:
         Canonical Dirichlet data: contiguous float64 vector of length
-        ``geometry.global_grid().boundary_size``.
+        ``geometry.global_boundary_size`` (the re-entrant boundary loop for
+        composite geometries).
     tol:
         Relative-change convergence threshold of the lattice iteration.
     max_iterations:
@@ -92,14 +106,15 @@ class SolveRequest:
     ) -> "SolveRequest":
         """Validate and canonicalize a BVP into a :class:`SolveRequest`."""
 
-        if not isinstance(geometry, MosaicGeometry):
+        if not isinstance(geometry, _geometry_types()):
             raise RequestValidationError(
-                f"geometry must be a MosaicGeometry, got {type(geometry).__name__}"
+                f"geometry must be a MosaicGeometry or CompositeMosaicGeometry, "
+                f"got {type(geometry).__name__}"
             )
         # Private copy: a queued request must not alias caller memory the
         # caller may mutate before the batch executes.
         loop = np.array(boundary_loop, dtype=float, copy=True, order="C")
-        expected = geometry.global_grid().boundary_size
+        expected = geometry.global_boundary_size
         if loop.ndim != 1 or loop.shape[0] != expected:
             raise RequestValidationError(
                 f"boundary loop must be a vector of length {expected} for this "
@@ -114,6 +129,10 @@ class SolveRequest:
         if init_mode not in _INIT_MODES:
             raise RequestValidationError(
                 f"init_mode must be one of {_INIT_MODES}, got {init_mode!r}"
+            )
+        if init_mode == "linear" and not geometry.is_rectangular:
+            raise RequestValidationError(
+                "init_mode 'linear' is only defined on rectangular domains"
             )
         if int(check_interval) < 1:
             raise RequestValidationError("check_interval must be at least 1")
@@ -135,9 +154,13 @@ class SolveRequest:
         fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
         **kwargs,
     ) -> "SolveRequest":
-        """Build a request by sampling ``fn(x, y)`` along the global boundary."""
+        """Build a request by sampling ``fn(x, y)`` along the global boundary.
 
-        loop = geometry.global_grid().boundary_from_function(fn)
+        For composite geometries the function is sampled along the re-entrant
+        composite boundary loop.
+        """
+
+        loop = geometry.boundary_from_function(fn)
         return cls.create(geometry, loop, **kwargs)
 
     @property

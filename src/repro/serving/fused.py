@@ -49,7 +49,9 @@ class FusedBatchRunner:
     Parameters
     ----------
     geometry:
-        Shared interface-lattice geometry of every request in the batch.
+        Shared interface-lattice geometry of every request in the batch
+        (rectangular :class:`MosaicGeometry` or composite
+        :class:`~repro.domains.geometry.CompositeMosaicGeometry`).
     solver:
         Subdomain solver; fused calls receive ``(B * S, 4N)`` boundary
         stacks.
@@ -105,6 +107,10 @@ class FusedBatchRunner:
                 empty = np.empty((0, 0), dtype=int)
                 self._phase_reads.append((empty, empty))
                 self._phase_writes.append((empty, empty))
+        # Phases with no anchors (composite domains, thin lattices) leave the
+        # fields unchanged; their zero delta must not count as convergence —
+        # mirrored from MosaicFlowPredictor to keep per-request parity.
+        self._phase_has_anchors = [rows.size > 0 for rows, _ in self._phase_reads]
         #: number of fused solver calls issued (iteration + assembly)
         self.predict_calls = 0
         #: total subdomain solves carried by those calls
@@ -125,11 +131,10 @@ class FusedBatchRunner:
         """
 
         geometry = self.geometry
-        grid = geometry.global_grid()
         loops = np.asarray(boundary_loops, dtype=float)
-        if loops.ndim != 2 or loops.shape[1] != grid.boundary_size:
+        if loops.ndim != 2 or loops.shape[1] != geometry.global_boundary_size:
             raise ValueError(
-                f"boundary_loops must have shape (B, {grid.boundary_size}), "
+                f"boundary_loops must have shape (B, {geometry.global_boundary_size}), "
                 f"got {loops.shape}"
             )
         num_requests = loops.shape[0]
@@ -180,7 +185,11 @@ class FusedBatchRunner:
                 previous[idx] = current
                 for pos, i in enumerate(idx):
                     deltas[i].append(float(step_deltas[pos]))
-                if iteration >= len(PHASE_OFFSETS):
+                window_active = any(
+                    self._phase_has_anchors[(it - 1) % len(PHASE_OFFSETS)]
+                    for it in range(iteration - self.check_interval + 1, iteration + 1)
+                )
+                if iteration >= len(PHASE_OFFSETS) and window_active:
                     newly = idx[step_deltas < tols[idx]]
                     converged[newly] = True
                     active[newly] = False
@@ -209,7 +218,6 @@ class FusedBatchRunner:
         """
 
         geometry = self.geometry
-        grid = geometry.global_grid()
         num_requests = fields.shape[0]
         accumulator = np.zeros_like(fields)
         # The contribution counts depend only on the geometry (how many
@@ -245,6 +253,8 @@ class FusedBatchRunner:
             np.add.at(counts, (rows_b, cols_b), 1.0)
 
         return [
-            grid.insert_boundary(loops[i], overlap_average(accumulator[i], counts))
+            geometry.insert_global_boundary(
+                loops[i], overlap_average(accumulator[i], counts)
+            )
             for i in range(num_requests)
         ]

@@ -1,0 +1,164 @@
+"""CompositeMosaicGeometry: anchors, masks, boundary loop, validation."""
+
+import numpy as np
+import pytest
+
+from repro.domains import CompositeDomain, CompositeMosaicGeometry
+from repro.mosaic import MosaicGeometry
+
+
+@pytest.fixture(scope="module")
+def l_geometry() -> CompositeMosaicGeometry:
+    return CompositeMosaicGeometry(9, 0.5, CompositeDomain.l_shape(6, 6, 3, 3))
+
+
+class TestRectangularReduction:
+    """A rectangular composite reduces exactly to MosaicGeometry."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        composite = CompositeMosaicGeometry(9, 0.5, CompositeDomain.rectangle(6, 4))
+        box = MosaicGeometry(subdomain_points=9, subdomain_extent=0.5,
+                             steps_x=6, steps_y=4)
+        return composite, box
+
+    def test_sizes(self, pair):
+        composite, box = pair
+        assert composite.is_rectangular
+        assert composite.as_mosaic_geometry() == box
+        assert (composite.global_nx, composite.global_ny) == (box.global_nx, box.global_ny)
+        assert composite.global_boundary_size == box.global_boundary_size
+        assert composite.num_subdomains == box.num_subdomains
+
+    def test_anchors_and_phases_identical(self, pair):
+        composite, box = pair
+        assert composite.anchors() == box.anchors()
+        for phase in range(4):
+            assert composite.anchors_for_phase(phase) == box.anchors_for_phase(phase)
+
+    def test_boundary_loop_identical_to_grid_convention(self, pair):
+        composite, box = pair
+        rows_c, cols_c = composite.global_boundary_indices()
+        rows_b, cols_b = box.global_grid().boundary_indices()
+        assert np.array_equal(rows_c, rows_b)
+        assert np.array_equal(cols_c, cols_b)
+        np.testing.assert_array_equal(
+            composite.global_boundary_coordinates(),
+            box.global_grid().boundary_coordinates(),
+        )
+
+    def test_masks_identical(self, pair):
+        composite, box = pair
+        assert np.array_equal(composite.lattice_mask(), box.lattice_mask())
+        assert composite.valid_mask().all()
+        assert np.array_equal(
+            composite.boundary_point_mask(), box.global_grid().boundary_mask()
+        )
+
+    def test_insert_boundary_identical(self, pair):
+        composite, box = pair
+        loop = np.arange(composite.global_boundary_size, dtype=float)
+        np.testing.assert_array_equal(
+            composite.insert_global_boundary(loop),
+            box.global_grid().insert_boundary(loop),
+        )
+
+
+class TestCompositeAnchors:
+    def test_l_shape_excludes_notch_anchors(self, l_geometry):
+        # 6x6 box has 5x5 anchors; the 3x3 notch forbids those whose 2x2
+        # window overlaps it.
+        box_anchors = set(l_geometry.box.anchors())
+        anchors = l_geometry.anchors()
+        assert set(anchors) < box_anchors
+        assert len(anchors) == 16
+        for r, c in anchors:
+            assert not (r >= 2 and c >= 2)
+
+    def test_anchor_windows_inside_valid_mask(self, l_geometry):
+        valid = l_geometry.valid_mask()
+        m = l_geometry.subdomain_points
+        for r, c in l_geometry.anchors():
+            r0, c0 = l_geometry.anchor_window((r, c))
+            assert valid[r0: r0 + m, c0: c0 + m].all()
+
+    def test_anchor_window_rejects_notch_anchor(self, l_geometry):
+        with pytest.raises(ValueError, match="not inside"):
+            l_geometry.anchor_window((4, 4))
+
+    def test_phases_partition_anchors(self, l_geometry):
+        union = []
+        for phase in range(4):
+            union.extend(l_geometry.anchors_for_phase(phase))
+        assert sorted(union) == sorted(l_geometry.anchors())
+        assert len(union) == len(set(union))
+
+
+class TestMasks:
+    def test_boundary_points_equal_traced_loop(self, l_geometry):
+        rows, cols = l_geometry.global_boundary_indices()
+        from_trace = set(zip(rows.tolist(), cols.tolist()))
+        from_mask = set(zip(*map(list, np.nonzero(l_geometry.boundary_point_mask()))))
+        assert from_trace == from_mask
+
+    def test_masks_partition_valid_points(self, l_geometry):
+        valid = l_geometry.valid_mask()
+        interior = l_geometry.interior_mask()
+        boundary = l_geometry.boundary_point_mask()
+        assert not (interior & boundary).any()
+        assert np.array_equal(interior | boundary, valid)
+
+    def test_notch_points_invalid(self, l_geometry):
+        valid = l_geometry.valid_mask()
+        h = l_geometry.half
+        # strictly inside the notch (top-right 3x3 steps of the 6x6 box)
+        assert not valid[3 * h + 1:, 3 * h + 1:].any()
+        # the re-entrant corner itself belongs to the domain boundary
+        assert valid[3 * h, 3 * h]
+        assert l_geometry.boundary_point_mask()[3 * h, 3 * h]
+
+    def test_lattice_mask_restricted_to_domain(self, l_geometry):
+        lattice = l_geometry.lattice_mask()
+        assert not (lattice & ~l_geometry.valid_mask()).any()
+        assert (lattice.sum() < l_geometry.box.lattice_mask().sum())
+
+
+class TestValidation:
+    def test_too_small_domain(self):
+        with pytest.raises(ValueError, match="at least one full subdomain"):
+            CompositeMosaicGeometry(9, 0.5, CompositeDomain.rectangle(1, 4))
+
+    def test_thin_appendage_rejected(self):
+        with pytest.raises(ValueError, match="outside every subdomain window"):
+            CompositeMosaicGeometry(
+                9, 0.5, CompositeDomain.from_rects([(0, 0, 4, 4), (1, 4, 1, 2)])
+            )
+
+    def test_zigzag_lattice_pinch_rejected(self):
+        cells = np.zeros((4, 3), dtype=bool)
+        cells[0:2, 0:2] = True
+        cells[2:4, 1:3] = True
+        with pytest.raises(ValueError, match="not updated by any anchor"):
+            CompositeMosaicGeometry(9, 0.5, CompositeDomain.from_cells(cells))
+
+    def test_hashable_for_cache_and_group_keys(self, l_geometry):
+        twin = CompositeMosaicGeometry(9, 0.5, CompositeDomain.l_shape(6, 6, 3, 3))
+        assert l_geometry == twin and hash(l_geometry) == hash(twin)
+        other = CompositeMosaicGeometry(9, 0.5, CompositeDomain.l_shape(6, 6, 3, 2))
+        assert l_geometry != other
+
+
+class TestBoundarySampling:
+    def test_boundary_from_function_matches_coordinates(self, l_geometry):
+        loop = l_geometry.boundary_from_function(lambda x, y: 2 * x - y)
+        coords = l_geometry.global_boundary_coordinates()
+        np.testing.assert_allclose(loop, 2 * coords[:, 0] - coords[:, 1])
+
+    def test_insert_extract_roundtrip(self, l_geometry):
+        rows, cols = l_geometry.global_boundary_indices()
+        loop = l_geometry.boundary_from_function(lambda x, y: x * y + 0.5)
+        field = l_geometry.insert_global_boundary(loop)
+        # duplicated corners carry consistent data, so extraction reproduces
+        # the loop exactly
+        np.testing.assert_array_equal(field[rows, cols], loop)
+        assert (field[~l_geometry.valid_mask()] == 0).all()

@@ -1,0 +1,120 @@
+"""Masked finite-difference Dirichlet solves on non-rectangular subsets."""
+
+import numpy as np
+import pytest
+
+from repro.fd import (
+    Grid2D,
+    assemble_poisson,
+    assemble_poisson_masked,
+    solve_laplace,
+    solve_laplace_masked,
+)
+
+
+def _rect_masks(grid):
+    boundary = grid.boundary_mask()
+    interior = ~boundary
+    return interior, boundary
+
+
+class TestRectangularReduction:
+    def test_system_matches_rectangular_assembly(self):
+        grid = Grid2D(7, 6, extent=(1.0, 0.8))
+        rng = np.random.default_rng(3)
+        boundary_field = np.where(grid.boundary_mask(), rng.normal(size=grid.shape), 0.0)
+        forcing = rng.normal(size=grid.shape)
+        A_ref, b_ref = assemble_poisson(grid, forcing, boundary_field)
+        interior, boundary = _rect_masks(grid)
+        A, b, index = assemble_poisson_masked(
+            grid, interior, boundary, forcing, boundary_field
+        )
+        # same row-major interior ordering -> identical systems
+        assert np.array_equal(index[1:-1, 1:-1].ravel(), np.arange(b.size))
+        np.testing.assert_allclose(A.toarray(), A_ref.toarray(), atol=0, rtol=0)
+        np.testing.assert_allclose(b, b_ref, atol=0, rtol=0)
+
+    def test_solution_matches_rectangular_solver(self):
+        grid = Grid2D(9, 9)
+        rng = np.random.default_rng(5)
+        boundary_field = np.where(grid.boundary_mask(), rng.normal(size=grid.shape), 0.0)
+        interior, boundary = _rect_masks(grid)
+        masked = solve_laplace_masked(grid, interior, boundary, boundary_field)
+        reference = solve_laplace(grid, boundary_field, method="direct")
+        np.testing.assert_allclose(masked, reference, atol=1e-12, rtol=0)
+
+
+class TestMaskedProperties:
+    def _l_masks(self, grid):
+        # L-shaped region: the full square minus the (open) top-right quadrant
+        ny, nx = grid.shape
+        cut_r, cut_c = ny // 2, nx // 2
+        valid = np.ones(grid.shape, dtype=bool)
+        valid[cut_r + 1:, cut_c + 1:] = False
+        inner = np.zeros_like(valid)
+        inner[1:-1, 1:-1] = valid[1:-1, 1:-1]
+        interior = inner.copy()
+        padded = np.zeros((ny + 2, nx + 2), dtype=bool)
+        padded[1:-1, 1:-1] = valid
+        for dr in (-1, 0, 1):
+            for dc in (-1, 0, 1):
+                interior &= padded[1 + dr: 1 + dr + ny, 1 + dc: 1 + dc + nx]
+        boundary = valid & ~interior
+        return valid, interior, boundary
+
+    def test_l_shape_maximum_principle_and_harmonicity(self):
+        grid = Grid2D(13, 13)
+        valid, interior, boundary = self._l_masks(grid)
+        X, Y = grid.meshgrid()
+        g = X * X - Y * Y
+        solution = solve_laplace_masked(grid, interior, boundary, np.where(boundary, g, 0.0))
+        assert (solution[~valid] == 0).all()
+        assert solution[valid].min() >= g[boundary].min() - 1e-10
+        assert solution[valid].max() <= g[boundary].max() + 1e-10
+        # 5-point Laplacian vanishes at every unknown
+        lap = (
+            (solution[1:-1, 2:] - 2 * solution[1:-1, 1:-1] + solution[1:-1, :-2])
+            / grid.hx ** 2
+            + (solution[2:, 1:-1] - 2 * solution[1:-1, 1:-1] + solution[:-2, 1:-1])
+            / grid.hy ** 2
+        )
+        assert np.max(np.abs(lap[interior[1:-1, 1:-1]])) < 1e-9
+
+    def test_cg_matches_direct(self):
+        grid = Grid2D(11, 11)
+        valid, interior, boundary = self._l_masks(grid)
+        rng = np.random.default_rng(11)
+        g = np.where(boundary, rng.normal(size=grid.shape), 0.0)
+        direct = solve_laplace_masked(grid, interior, boundary, g, method="direct")
+        cg = solve_laplace_masked(grid, interior, boundary, g, method="cg", tol=1e-12)
+        np.testing.assert_allclose(cg, direct, atol=1e-8, rtol=0)
+
+
+class TestValidation:
+    def test_rejects_overlapping_masks(self):
+        grid = Grid2D(5, 5)
+        mask = np.ones(grid.shape, dtype=bool)
+        with pytest.raises(ValueError, match="disjoint"):
+            assemble_poisson_masked(grid, mask, mask)
+
+    def test_rejects_unbounded_interior(self):
+        grid = Grid2D(5, 5)
+        interior = np.ones(grid.shape, dtype=bool)
+        boundary = np.zeros(grid.shape, dtype=bool)
+        with pytest.raises(ValueError, match="bounding grid"):
+            assemble_poisson_masked(grid, interior, boundary)
+
+    def test_rejects_missing_neighbor(self):
+        grid = Grid2D(5, 5)
+        interior = np.zeros(grid.shape, dtype=bool)
+        interior[2, 2] = True
+        boundary = np.zeros(grid.shape, dtype=bool)
+        boundary[1, 2] = boundary[3, 2] = boundary[2, 1] = True  # (2, 3) missing
+        with pytest.raises(ValueError, match="non-domain neighbour"):
+            assemble_poisson_masked(grid, interior, boundary)
+
+    def test_rejects_empty_interior(self):
+        grid = Grid2D(5, 5)
+        empty = np.zeros(grid.shape, dtype=bool)
+        with pytest.raises(ValueError, match="no unknowns"):
+            assemble_poisson_masked(grid, empty, ~empty)

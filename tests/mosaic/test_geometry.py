@@ -31,6 +31,22 @@ class TestConstruction:
         with pytest.raises(ValueError):
             MosaicGeometry.from_domain_size((2.1, 2.0), subdomain_points=33)
 
+    def test_from_domain_size_too_small_raises_clearly(self):
+        # a domain smaller than one subdomain must fail with an actionable
+        # message, not a misleading "not a multiple" error (or an empty
+        # anchor list downstream)
+        with pytest.raises(ValueError, match="too small for a single"):
+            MosaicGeometry.from_domain_size((0.2, 2.0), subdomain_extent=0.5)
+        with pytest.raises(ValueError, match="too small for a single"):
+            MosaicGeometry.from_domain_size((2.0, 0.25), subdomain_extent=0.5)
+        with pytest.raises(ValueError, match="positive"):
+            MosaicGeometry.from_domain_size((0.0, 2.0))
+
+    def test_half_subdomain_domain_names_anchor_requirement(self):
+        # 0.25 x 2.0 with 0.5 subdomains -> steps (1, 8): no anchor fits
+        with pytest.raises(ValueError, match="anchor"):
+            MosaicGeometry(subdomain_points=9, subdomain_extent=0.5, steps_x=1, steps_y=8)
+
     def test_scaled(self):
         geo = MosaicGeometry(subdomain_points=9, subdomain_extent=0.5, steps_x=2, steps_y=2)
         big = geo.scaled(4)

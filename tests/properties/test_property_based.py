@@ -2,10 +2,11 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.autodiff import Tensor, grad, ops
-from repro.distributed import ProcessGrid, block_range, choose_grid_dims
+from repro.distributed import ProcessGrid, block_range, choose_grid_dims, shard_anchors
+from repro.domains import CompositeDomain, CompositeMosaicGeometry
 from repro.fd import Grid2D, apply_laplacian, solve_laplace
 from repro.mosaic import MosaicGeometry
 
@@ -171,3 +172,134 @@ class TestGeometryProperties:
         interior[0, :] = interior[-1, :] = False
         interior[:, 0] = interior[:, -1] = False
         assert np.array_equal(updated, interior)
+
+
+@st.composite
+def composite_domains(draw) -> CompositeDomain:
+    """Random well-formed composite shapes from the supported families."""
+
+    kind = draw(st.sampled_from(["rect", "l", "t", "plus", "union"]))
+    if kind == "rect":
+        return CompositeDomain.rectangle(
+            draw(st.integers(2, 6)), draw(st.integers(2, 6))
+        )
+    if kind == "l":
+        sx, sy = draw(st.integers(4, 7)), draw(st.integers(4, 7))
+        return CompositeDomain.l_shape(
+            sx, sy, draw(st.integers(2, sx - 2)), draw(st.integers(2, sy - 2))
+        )
+    if kind == "t":
+        bar_x = draw(st.integers(4, 8))
+        return CompositeDomain.t_shape(
+            bar_x, draw(st.integers(2, 4)),
+            draw(st.integers(2, bar_x)), draw(st.integers(2, 4)),
+        )
+    if kind == "plus":
+        return CompositeDomain.plus_shape(draw(st.integers(1, 3)), draw(st.integers(2, 3)))
+    # free-form union of two rectangles; skip draws that violate the
+    # well-formedness rules (disconnected, pinched, ...)
+    rects = [
+        (
+            draw(st.integers(0, 3)), draw(st.integers(0, 3)),
+            draw(st.integers(2, 4)), draw(st.integers(2, 4)),
+        )
+        for _ in range(2)
+    ]
+    try:
+        return CompositeDomain.from_rects(rects)
+    except ValueError:
+        assume(False)
+
+
+@st.composite
+def composite_geometries(draw) -> CompositeMosaicGeometry:
+    domain = draw(composite_domains())
+    try:
+        return CompositeMosaicGeometry(
+            subdomain_points=draw(st.sampled_from([5, 9])),
+            subdomain_extent=0.5,
+            domain=domain,
+        )
+    except ValueError:
+        # anchor/lattice coverage can reject free-form unions
+        assume(False)
+
+
+class TestCompositeDomainProperties:
+    @COMMON_SETTINGS
+    @given(composite_domains())
+    def test_boundary_loop_is_closed_and_axis_aligned(self, domain):
+        corners = domain.boundary_corners
+        assert len(corners) >= 4 and len(corners) % 2 == 0
+        for (r0, c0), (r1, c1) in zip(corners, corners[1:] + corners[:1]):
+            assert (r0 == r1) != (c0 == c1)  # one axis changes per segment
+        # counter-clockwise orientation: shoelace area equals the cell count
+        area = 0
+        for (r0, c0), (r1, c1) in zip(corners, corners[1:] + corners[:1]):
+            area += c0 * r1 - c1 * r0
+        assert area == 2 * domain.num_cells
+
+    @COMMON_SETTINGS
+    @given(composite_geometries())
+    def test_grid_boundary_loop_is_closed(self, geometry):
+        rows, cols = geometry.global_boundary_indices()
+        # the loop returns to its start and every step moves by at most one
+        # grid point (zero at duplicated segment corners)
+        assert (rows[0], cols[0]) == (rows[-1], cols[-1])
+        dr = np.abs(np.diff(rows))
+        dc = np.abs(np.diff(cols))
+        assert np.all(dr + dc <= 1)
+        # duplicated points appear exactly once per polygon corner
+        assert int(np.sum((dr + dc) == 0)) == len(geometry.domain.boundary_corners) - 1
+        assert geometry.boundary_point_mask()[rows, cols].all()
+
+    @COMMON_SETTINGS
+    @given(composite_geometries())
+    def test_every_anchor_window_inside_mask(self, geometry):
+        valid = geometry.valid_mask()
+        m = geometry.subdomain_points
+        anchors = geometry.anchors()
+        assert anchors == sorted(anchors)  # row-major enumeration
+        for r, c in anchors:
+            r0, c0 = geometry.anchor_window((r, c))
+            assert valid[r0: r0 + m, c0: c0 + m].all()
+        union = []
+        for phase in range(4):
+            union.extend(geometry.anchors_for_phase(phase))
+        assert sorted(union) == anchors and len(union) == len(set(union))
+
+    @COMMON_SETTINGS
+    @given(composite_geometries())
+    def test_centre_lines_cover_interior_lattice_exactly(self, geometry):
+        updated = np.zeros((geometry.global_ny, geometry.global_nx), dtype=bool)
+        crow, ccol = geometry.center_line_local_indices()
+        for anchor in geometry.anchors():
+            r0, c0 = geometry.anchor_window(anchor)
+            updated[r0 + crow, c0 + ccol] = True
+        interior_lattice = geometry.lattice_mask() & geometry.interior_mask()
+        assert np.array_equal(updated, interior_lattice)
+
+    @COMMON_SETTINGS
+    @given(st.integers(2, 6), st.integers(2, 6), st.sampled_from([5, 9]))
+    def test_rectangular_composite_reduces_to_mosaic_geometry(self, sx, sy, m):
+        composite = CompositeMosaicGeometry(m, 0.5, CompositeDomain.rectangle(sx, sy))
+        box = MosaicGeometry(subdomain_points=m, subdomain_extent=0.5,
+                             steps_x=sx, steps_y=sy)
+        assert composite.is_rectangular
+        assert composite.as_mosaic_geometry() == box
+        assert composite.anchors() == box.anchors()
+        rows_c, cols_c = composite.global_boundary_indices()
+        rows_b, cols_b = box.global_grid().boundary_indices()
+        assert np.array_equal(rows_c, rows_b) and np.array_equal(cols_c, cols_b)
+        assert np.array_equal(composite.lattice_mask(), box.lattice_mask())
+        assert composite.valid_mask().all()
+
+    @COMMON_SETTINGS
+    @given(composite_geometries(), st.integers(1, 8), st.sampled_from(["row", "morton"]))
+    def test_anchor_shards_balance_irregular_counts(self, geometry, parts, ordering):
+        anchors = geometry.anchors()
+        shards = shard_anchors(anchors, parts, ordering=ordering)
+        merged = [a for shard in shards for a in shard]
+        assert sorted(merged) == sorted(anchors)
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
