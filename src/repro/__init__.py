@@ -22,7 +22,11 @@ The package implements, from scratch and on top of numpy only:
   the Mosaic Flow predictor,
 * ``repro.domains`` — composite (non-rectangular) target domains:
   union-of-rectangles geometries, masked reference solves and load-balanced
-  anchor sharding.
+  anchor sharding,
+* ``repro.engine`` — the trace-and-fuse inference compiler: records one
+  forward pass of a model into a static operator graph, optimizes it
+  (constant folding, elementwise fusion, dead-code elimination) and runs it
+  through preallocated numpy kernels with bitwise parity to eager mode.
 """
 
 __version__ = "0.1.0"
@@ -45,15 +49,25 @@ _DOMAINS_EXPORTS = (
     "sharded_assemble",
 )
 
-__all__ = ["__version__", "serving", "domains", *_SERVING_EXPORTS, *_DOMAINS_EXPORTS]
+#: inference-engine names re-exported at the package top level
+_ENGINE_EXPORTS = (
+    "CompiledModule",
+    "compile_module",
+    "compile_solver",
+)
+
+__all__ = [
+    "__version__", "serving", "domains", "engine",
+    *_SERVING_EXPORTS, *_DOMAINS_EXPORTS, *_ENGINE_EXPORTS,
+]
 
 
 def __getattr__(name: str):
-    """Lazily expose the serving and domains subsystems (PEP 562).
+    """Lazily expose the serving, domains and engine subsystems (PEP 562).
 
     Keeps ``import repro`` free of subpackage import costs while still
-    allowing ``repro.Server`` / ``repro.CompositeDomain`` / ``repro.serving``
-    without an explicit subpackage import.
+    allowing ``repro.Server`` / ``repro.CompositeDomain`` /
+    ``repro.compile_module`` without an explicit subpackage import.
     """
 
     import importlib
@@ -64,4 +78,7 @@ def __getattr__(name: str):
     if name == "domains" or name in _DOMAINS_EXPORTS:
         domains = importlib.import_module(__name__ + ".domains")
         return domains if name == "domains" else getattr(domains, name)
+    if name == "engine" or name in _ENGINE_EXPORTS:
+        engine = importlib.import_module(__name__ + ".engine")
+        return engine if name == "engine" else getattr(engine, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

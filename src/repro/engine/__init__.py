@@ -1,0 +1,75 @@
+"""repro.engine — a trace-and-fuse inference compiler for model hot paths.
+
+Every Mosaic Flow solve executes thousands of gradient-free SDNet forward
+passes through the tape-building :mod:`repro.autodiff` layer, paying per-op
+Python dispatch, graph bookkeeping and fresh allocations it never needs.
+This package separates a *traced, optimized execution graph* from the eager
+training path, the way production inference stacks do:
+
+1. :mod:`.trace` records one symbolic forward pass of any
+   :class:`~repro.nn.module.Module` into a static operator graph
+   (:mod:`.graph`),
+2. :mod:`.passes` runs compiler passes over it — dead-code elimination,
+   constant folding of frozen weights, lowering of one-axis gathers, and
+   fusion of elementwise chains (``affine -> activation``) into single
+   vectorized numpy kernels (:mod:`.kernels`),
+3. :mod:`.runtime` executes the result through shape-specialized plans with
+   preallocated buffers, so steady-state inference is allocation-free.
+
+The resulting :class:`CompiledModule` exposes the same ``__call__`` contract
+as the source module with **bitwise-identical outputs** (fusion removes
+dispatch, never reorders floating-point math), and is threaded through every
+layer that does repeated inference via ``engine=`` configuration:
+:class:`~repro.mosaic.predictor.MosaicFlowPredictor`,
+:class:`~repro.serving.fused.FusedBatchRunner`,
+:class:`~repro.serving.server.Server` (with per-geometry
+:class:`ModuleCache` reuse) and
+:class:`~repro.mosaic.distributed.DistributedMosaicFlowPredictor` workers.
+"""
+
+from .graph import Graph, GraphError, Node
+from .kernels import KernelError, build_step, evaluate_node
+from .passes import (
+    DEFAULT_PASSES,
+    FUSION_RULES,
+    FusionRule,
+    eliminate_dead_code,
+    fold_constants,
+    fuse_elementwise,
+    lower_gathers,
+    optimize,
+    register_fusion_rule,
+)
+from .runtime import (
+    CompiledModule,
+    ExecutionPlan,
+    ModuleCache,
+    compile_module,
+    compile_solver,
+)
+from .trace import TraceError, trace
+
+__all__ = [
+    "Graph",
+    "GraphError",
+    "Node",
+    "KernelError",
+    "build_step",
+    "evaluate_node",
+    "DEFAULT_PASSES",
+    "FUSION_RULES",
+    "FusionRule",
+    "eliminate_dead_code",
+    "fold_constants",
+    "fuse_elementwise",
+    "lower_gathers",
+    "optimize",
+    "register_fusion_rule",
+    "CompiledModule",
+    "ExecutionPlan",
+    "ModuleCache",
+    "compile_module",
+    "compile_solver",
+    "TraceError",
+    "trace",
+]

@@ -1,0 +1,277 @@
+"""Static operator-graph IR of the inference engine.
+
+A :class:`Graph` is the record of one symbolic forward pass of an
+:class:`~repro.nn.module.Module`: a flat, topologically ordered sequence of
+:class:`Node` objects, each naming a primitive operation from
+:mod:`repro.autodiff.ops` (or a fused kernel introduced by
+:mod:`repro.engine.passes`), the nodes it consumes, and the non-tensor
+attributes of the call (shapes, axes, index arrays, ...).
+
+Three special node kinds exist besides the primitives:
+
+* ``placeholder`` — a graph input (one per traced call argument),
+* ``constant``   — a value captured at trace time (module parameters and any
+  numpy/scalar operands lifted by the eager ops),
+* fused ops (``gelu``, ``affine``, ``affine_gelu``, ...) — produced by the
+  fusion passes, never by the tracer.
+
+The IR is deliberately minimal: node ids are dense integers assigned in trace
+order, the node dictionary preserves insertion order (which *is* a valid
+topological order, and every pass maintains that invariant), and rewrites
+keep the rewritten node's id so consumers never need remapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["Node", "Graph", "GraphError"]
+
+
+class GraphError(RuntimeError):
+    """Raised when a graph rewrite would produce an inconsistent graph."""
+
+
+@dataclass
+class Node:
+    """One operation of the static graph.
+
+    Attributes
+    ----------
+    id:
+        Dense integer id, unique within the graph; ids are assigned in trace
+        order, so ``id(a) < id(b)`` whenever ``a`` must execute before ``b``.
+    op:
+        Primitive name (``"matmul"``, ``"add"``, ...), a fused-kernel name,
+        ``"placeholder"`` or ``"constant"``.
+    inputs:
+        Ids of the nodes whose values this node consumes, in operand order.
+    attrs:
+        Non-tensor call attributes (``shape`` for reshape, ``axes`` for
+        transpose, index arrays for gathers, fused-kernel constants, ...).
+    shape, dtype:
+        Shape and dtype of the node's value, as observed during tracing.
+    value:
+        The captured array for ``constant`` nodes (``None`` otherwise).
+        Constants captured from module parameters alias the parameter's
+        storage, so in-place parameter updates flow into the graph; computed
+        constants (from :func:`~repro.engine.passes.fold_constants`) may be
+        views of parameter storage or fresh arrays.
+    param:
+        Qualified parameter name when the constant was captured from a
+        registered module parameter (purely informational).
+    """
+
+    id: int
+    op: str
+    inputs: tuple[int, ...] = ()
+    attrs: dict = field(default_factory=dict)
+    shape: tuple = ()
+    dtype: object = None
+    value: np.ndarray | None = None
+    param: str | None = None
+
+    @property
+    def is_constant(self) -> bool:
+        return self.op == "constant"
+
+    @property
+    def is_placeholder(self) -> bool:
+        return self.op == "placeholder"
+
+
+class Graph:
+    """A topologically ordered static operator graph.
+
+    Nodes are stored in an insertion-ordered dict keyed by id; iteration
+    order is execution order.  ``inputs`` lists the placeholder ids in call
+    order; ``outputs`` lists the ids whose values the compiled call returns.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: dict[int, Node] = {}
+        self._next_id = 0
+        self.inputs: list[int] = []
+        self.outputs: list[int] = []
+
+    # -- construction -----------------------------------------------------------
+
+    def add_node(
+        self,
+        op: str,
+        inputs: Iterable[int] = (),
+        attrs: dict | None = None,
+        shape: tuple = (),
+        dtype=None,
+        value: np.ndarray | None = None,
+        param: str | None = None,
+    ) -> Node:
+        """Append a node; returns it.  Inputs must already be in the graph."""
+
+        inputs = tuple(int(i) for i in inputs)
+        for parent in inputs:
+            if parent not in self._nodes:
+                raise GraphError(f"input node {parent} does not exist")
+        node = Node(
+            id=self._next_id,
+            op=op,
+            inputs=inputs,
+            attrs=dict(attrs or {}),
+            shape=tuple(shape),
+            dtype=dtype,
+            value=value,
+            param=param,
+        )
+        self._nodes[node.id] = node
+        self._next_id += 1
+        return node
+
+    # -- access -----------------------------------------------------------------
+
+    def node(self, node_id: int) -> Node:
+        return self._nodes[node_id]
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        """Iterate nodes in execution (topological) order."""
+
+        return iter(self._nodes.values())
+
+    def nodes(self) -> list[Node]:
+        """Snapshot list of nodes in execution order (safe to rewrite during)."""
+
+        return list(self._nodes.values())
+
+    def consumer_counts(self) -> dict[int, int]:
+        """Number of graph-internal consumers per node (outputs add one)."""
+
+        counts: dict[int, int] = {nid: 0 for nid in self._nodes}
+        for node in self._nodes.values():
+            for parent in node.inputs:
+                counts[parent] += 1
+        for out in self.outputs:
+            counts[out] += 1
+        return counts
+
+    # -- rewriting --------------------------------------------------------------
+
+    def replace_node(self, node_id: int, **changes) -> Node:
+        """Replace fields of a node in place (id and position preserved)."""
+
+        node = self._nodes[node_id]
+        for parent in changes.get("inputs", ()):  # validate new edges
+            if parent not in self._nodes:
+                raise GraphError(f"input node {parent} does not exist")
+        new = replace(node, **changes)
+        if new.id != node_id:
+            raise GraphError("replace_node must not change the node id")
+        self._nodes[node_id] = new
+        return new
+
+    def remove_nodes(self, node_ids: Iterable[int]) -> None:
+        """Delete nodes; they must have no remaining consumers."""
+
+        doomed = set(node_ids)
+        counts = self.consumer_counts()
+        for node in self._nodes.values():
+            if node.id in doomed:
+                continue
+            for parent in node.inputs:
+                if parent in doomed:
+                    raise GraphError(
+                        f"cannot remove node {parent}: still consumed by {node.id}"
+                    )
+        for out in self.outputs:
+            if out in doomed:
+                raise GraphError(f"cannot remove output node {out}")
+        for nid in doomed:
+            self._nodes.pop(nid, None)
+        self.inputs = [i for i in self.inputs if i not in doomed]
+
+    def fuse(
+        self,
+        root_id: int,
+        absorbed_ids: Iterable[int],
+        op: str,
+        inputs: Iterable[int],
+        attrs: dict | None = None,
+    ) -> Node:
+        """Replace ``root_id`` with a fused node and delete the absorbed nodes.
+
+        The fused node keeps the root's id, shape and dtype, so the root's
+        consumers are untouched; ``absorbed_ids`` must be consumed only
+        within the fused set (the fusion rule's matcher guarantees this).
+        """
+
+        root = self._nodes[root_id]
+        self.replace_node(
+            root_id, op=op, inputs=tuple(int(i) for i in inputs), attrs=dict(attrs or {})
+        )
+        absorbed = [i for i in absorbed_ids if i != root_id]
+        self.remove_nodes(absorbed)
+        return self._nodes[root_id]
+
+    # -- introspection ----------------------------------------------------------
+
+    def op_counts(self) -> dict[str, int]:
+        """Histogram of op names (used by tests and the quickstart example)."""
+
+        counts: dict[str, int] = {}
+        for node in self:
+            counts[node.op] = counts.get(node.op, 0) + 1
+        return counts
+
+    def validate(self) -> None:
+        """Check topological ordering and edge integrity (debug helper)."""
+
+        seen: set[int] = set()
+        for node in self:
+            for parent in node.inputs:
+                if parent not in seen:
+                    raise GraphError(
+                        f"node {node.id} ({node.op}) consumes {parent} "
+                        "which does not precede it"
+                    )
+            seen.add(node.id)
+        for out in self.outputs:
+            if out not in self._nodes:
+                raise GraphError(f"output {out} is not a graph node")
+        for inp in self.inputs:
+            if inp not in self._nodes or not self._nodes[inp].is_placeholder:
+                raise GraphError(f"input {inp} is not a placeholder node")
+
+    def __str__(self) -> str:
+        lines = []
+        for node in self:
+            if node.is_placeholder:
+                rhs = f"placeholder[shape={node.shape}]"
+            elif node.is_constant:
+                origin = f" <- {node.param}" if node.param else ""
+                rhs = f"constant[shape={node.shape}]{origin}"
+            else:
+                args = ", ".join(f"%{i}" for i in node.inputs)
+                extras = ", ".join(
+                    f"{k}={_short(v)}" for k, v in sorted(node.attrs.items())
+                )
+                rhs = f"{node.op}({args})" + (f" {{{extras}}}" if extras else "")
+            marker = "  # output" if node.id in self.outputs else ""
+            lines.append(f"%{node.id} = {rhs} : {node.shape}{marker}")
+        return "\n".join(lines)
+
+
+def _short(value) -> str:
+    if isinstance(value, np.ndarray):
+        return f"ndarray{value.shape}"
+    if isinstance(value, tuple) and any(isinstance(v, np.ndarray) for v in value):
+        return "(" + ", ".join(_short(v) for v in value) + ")"
+    if isinstance(value, slice):
+        return "slice"
+    return repr(value)

@@ -1,0 +1,324 @@
+"""Compiler passes over the static operator graph.
+
+The default pipeline (:data:`DEFAULT_PASSES`) applied by
+:func:`~repro.engine.runtime.compile_module` is:
+
+1. :func:`fold_constants` — evaluate every node whose operands are all
+   constants once at compile time.  This freezes the weight-preprocessing
+   chains of the models (``transpose(W)`` of every linear layer, the im2col
+   weight reshape of the boundary convolutions), which eager mode recomputes
+   on every call.  Folding runs the *eager* numpy expressions via
+   :func:`~repro.engine.kernels.evaluate_node`, so folded values — often
+   views of the parameter storage — are bitwise and layout identical to
+   what eager mode produces.
+2. :func:`lower_gathers` — rewrite advanced-indexing gathers along one axis
+   (the conv ``im2col`` pattern ``x[:, :, index]``) into a ``take`` node
+   backed by a preallocated flat buffer.
+3. :func:`fuse_elementwise` — pattern-match elementwise chains into single
+   fused kernels using the rules in :data:`FUSION_RULES`: the five-node
+   erf-GELU chain becomes one ``gelu`` node, ``matmul`` + bias-``add``
+   becomes ``affine``, and an ``affine`` feeding a ``gelu``/``tanh``
+   exclusively becomes ``affine_gelu``/``affine_tanh``.  Fusion never
+   reorders floating-point math — the fused kernels replay the identical
+   ufunc sequence — so outputs stay bitwise equal to eager.
+4. :func:`eliminate_dead_code` — drop every node (folded-over weights,
+   absorbed chain links) that no output depends on.
+
+Adding a new fusion rule
+------------------------
+Create a :class:`FusionRule` whose matcher inspects a candidate root node
+and returns the fused replacement, then register it::
+
+    def match_double(graph, node, consumers):
+        # x + x  ->  scale(x, 2)   (illustrative only)
+        a, b = node.inputs
+        if a == b:
+            return dict(op="scale", inputs=(a,), attrs={"factor": 2.0},
+                        absorbed=[])
+        return None
+
+    register_fusion_rule(FusionRule("double-add", root_ops=("add",),
+                                    matcher=match_double))
+
+and add a matching kernel in :mod:`repro.engine.kernels` (``build_step`` and
+``evaluate_node``).  Matchers must only absorb nodes that are consumed
+exclusively inside the matched set (check ``consumers``); the replacement
+keeps the root node's id, shape and dtype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .graph import Graph, Node
+from .kernels import evaluate_node
+
+__all__ = [
+    "FusionRule",
+    "FUSION_RULES",
+    "register_fusion_rule",
+    "fold_constants",
+    "lower_gathers",
+    "fuse_elementwise",
+    "eliminate_dead_code",
+    "DEFAULT_PASSES",
+    "optimize",
+]
+
+
+# ---------------------------------------------------------------------------
+# Constant folding
+# ---------------------------------------------------------------------------
+
+
+def fold_constants(graph: Graph) -> Graph:
+    """Evaluate nodes whose operands are all constants; freeze the results.
+
+    Folding happens in topological order, so whole constant subgraphs (e.g.
+    ``reshape(transpose(W))``) collapse in one pass.  The computed values may
+    alias parameter storage (views), exactly as the eager ops would produce.
+    """
+
+    for node in graph.nodes():
+        if node.is_constant or node.is_placeholder:
+            continue
+        parents = [graph.node(i) for i in node.inputs]
+        if parents and all(p.is_constant for p in parents):
+            value = evaluate_node(node, [p.value for p in parents])
+            value = np.asarray(value)
+            graph.replace_node(
+                node.id, op="constant", inputs=(), attrs={}, value=value,
+                shape=value.shape, dtype=value.dtype,
+            )
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Gather lowering
+# ---------------------------------------------------------------------------
+
+
+def lower_gathers(graph: Graph) -> Graph:
+    """Rewrite one-axis advanced gathers into buffered ``take`` nodes.
+
+    Matches ``getitem`` nodes whose index is a tuple of full slices followed
+    by one integer index array in the final position (the conv ``im2col``
+    pattern).  ``np.take`` along that axis with the flattened index selects
+    the same elements, runs into a preallocated buffer, and the multi-dim
+    index shape is restored with a free reshape view.
+    """
+
+    for node in graph.nodes():
+        if node.op != "getitem":
+            continue
+        index = node.attrs.get("index")
+        if not isinstance(index, tuple) or not index:
+            continue
+        *leading, last = index
+        if not isinstance(last, np.ndarray) or last.dtype.kind not in "iu":
+            continue
+        if not all(
+            isinstance(entry, slice) and entry == slice(None) for entry in leading
+        ):
+            continue
+        source = graph.node(node.inputs[0])
+        axis = len(index) - 1
+        if axis >= len(source.shape):
+            continue
+        flat = np.ascontiguousarray(last.reshape(-1))
+        flat_shape = (
+            tuple(source.shape[:axis]) + (flat.size,) + tuple(source.shape[axis + 1:])
+        )
+        graph.replace_node(
+            node.id,
+            op="take",
+            attrs={"axis": axis, "indices": flat, "flat_shape": flat_shape},
+        )
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Elementwise fusion
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FusionRule:
+    """A pattern-rewrite rule applied by :func:`fuse_elementwise`.
+
+    Attributes
+    ----------
+    name:
+        Human-readable rule name (diagnostics).
+    root_ops:
+        Op names at which the matcher is attempted (the *last* node of the
+        pattern, whose id/shape the fused node inherits).
+    matcher:
+        ``matcher(graph, root_node, consumers) -> dict | None`` returning
+        ``{"op", "inputs", "attrs", "absorbed"}`` for a match.  ``consumers``
+        maps node id to its total consumer count (outputs included); every
+        absorbed node must be consumed only within the matched set.
+    """
+
+    name: str
+    root_ops: tuple[str, ...]
+    matcher: Callable[[Graph, Node, dict], dict | None]
+
+
+def _const_scalar(graph: Graph, node_id: int) -> float | None:
+    node = graph.node(node_id)
+    if node.is_constant and node.value is not None and node.value.ndim == 0:
+        return float(node.value)
+    return None
+
+
+def _match_gelu(graph: Graph, root: Node, consumers: dict) -> dict | None:
+    """``x * (c2 * (c1 + erf(x / c0)))`` — the eager erf-GELU chain."""
+
+    x_id, outer_id = root.inputs
+    outer = graph.node(outer_id)
+    if outer.op != "mul" or consumers[outer.id] != 1:
+        return None
+    c2 = _const_scalar(graph, outer.inputs[0])
+    if c2 is None:
+        return None
+    inner = graph.node(outer.inputs[1])
+    if inner.op != "add" or consumers[inner.id] != 1:
+        return None
+    c1 = _const_scalar(graph, inner.inputs[0])
+    if c1 is None:
+        return None
+    erf_node = graph.node(inner.inputs[1])
+    if erf_node.op != "erf" or consumers[erf_node.id] != 1:
+        return None
+    div_node = graph.node(erf_node.inputs[0])
+    if div_node.op != "div" or consumers[div_node.id] != 1:
+        return None
+    if div_node.inputs[0] != x_id:
+        return None
+    c0 = _const_scalar(graph, div_node.inputs[1])
+    if c0 is None:
+        return None
+    return {
+        "op": "gelu",
+        "inputs": (x_id,),
+        "attrs": {"div_const": c0, "add_const": c1, "mul_const": c2},
+        "absorbed": [outer.id, inner.id, erf_node.id, div_node.id],
+    }
+
+
+def _match_affine(graph: Graph, root: Node, consumers: dict) -> dict | None:
+    """``matmul(x, W) + bias`` with a constant bias — one BLAS call + in-place add."""
+
+    mm_id, bias_id = root.inputs
+    mm = graph.node(mm_id)
+    if mm.op != "matmul" or consumers[mm.id] != 1:
+        return None
+    if not graph.node(bias_id).is_constant:
+        return None
+    # The fused kernel matmuls straight into the add's output buffer, which
+    # is only valid when the bias broadcasts *into* the matmul shape (the
+    # Linear-layer case), not when it widens the result.
+    if mm.shape != root.shape:
+        return None
+    return {
+        "op": "affine",
+        "inputs": (mm.inputs[0], mm.inputs[1], bias_id),
+        "attrs": {},
+        "absorbed": [mm.id],
+    }
+
+
+def _match_affine_activation(graph: Graph, root: Node, consumers: dict) -> dict | None:
+    """An ``affine`` consumed only by a ``gelu``/``tanh`` — one fused kernel."""
+
+    pre = graph.node(root.inputs[0])
+    if pre.op != "affine" or consumers[pre.id] != 1:
+        return None
+    fused_op = "affine_gelu" if root.op == "gelu" else "affine_tanh"
+    return {
+        "op": fused_op,
+        "inputs": pre.inputs,
+        "attrs": dict(root.attrs),
+        "absorbed": [pre.id],
+    }
+
+
+#: Registered fusion rules, applied in order by :func:`fuse_elementwise`.
+FUSION_RULES: list[FusionRule] = [
+    FusionRule("erf-gelu", root_ops=("mul",), matcher=_match_gelu),
+    FusionRule("affine", root_ops=("add",), matcher=_match_affine),
+    FusionRule(
+        "affine-activation", root_ops=("gelu", "tanh"),
+        matcher=_match_affine_activation,
+    ),
+]
+
+
+def register_fusion_rule(rule: FusionRule, index: int | None = None) -> None:
+    """Register a custom fusion rule (appended, or inserted at ``index``)."""
+
+    if index is None:
+        FUSION_RULES.append(rule)
+    else:
+        FUSION_RULES.insert(index, rule)
+
+
+def fuse_elementwise(graph: Graph, rules: list[FusionRule] | None = None) -> Graph:
+    """Apply the fusion rules over the graph (each rule scans once, in order)."""
+
+    for rule in FUSION_RULES if rules is None else rules:
+        consumers = graph.consumer_counts()
+        for node in graph.nodes():
+            if node.id not in graph or node.op not in rule.root_ops:
+                continue
+            match = rule.matcher(graph, node, consumers)
+            if match is None:
+                continue
+            graph.fuse(
+                node.id, match["absorbed"], match["op"], match["inputs"],
+                match.get("attrs"),
+            )
+            consumers = graph.consumer_counts()
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Dead code elimination
+# ---------------------------------------------------------------------------
+
+
+def eliminate_dead_code(graph: Graph) -> Graph:
+    """Remove every node no output transitively depends on.
+
+    Placeholders are always kept — they define the compiled call signature
+    even when an input does not influence the outputs.
+    """
+
+    live: set[int] = set(graph.inputs)
+    stack = list(graph.outputs)
+    while stack:
+        nid = stack.pop()
+        if nid in live:
+            continue
+        live.add(nid)
+        stack.extend(graph.node(nid).inputs)
+    dead = [node.id for node in graph.nodes() if node.id not in live]
+    graph.remove_nodes(dead)
+    return graph
+
+
+#: The default pass pipeline, in application order.
+DEFAULT_PASSES = (fold_constants, lower_gathers, fuse_elementwise, eliminate_dead_code)
+
+
+def optimize(graph: Graph, passes=None) -> Graph:
+    """Run a pass pipeline (default: :data:`DEFAULT_PASSES`) over ``graph``."""
+
+    for pass_fn in DEFAULT_PASSES if passes is None else passes:
+        graph = pass_fn(graph)
+    graph.validate()
+    return graph

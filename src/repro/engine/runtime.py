@@ -1,0 +1,380 @@
+"""Compiled-module runtime: shape-specialized plans over optimized graphs.
+
+:class:`CompiledModule` is the user-facing artifact of the engine.  It keeps
+the source :class:`~repro.nn.module.Module` and lazily builds, per input
+*shape signature*:
+
+* one optimized :class:`~repro.engine.graph.Graph` (traced on first use of
+  the signature, shared across threads under a lock), and
+* one :class:`ExecutionPlan` *per thread* — the plan owns preallocated
+  output buffers, so plans are intentionally not shared between threads
+  (the simulated-cluster ranks and the serving worker pool each get their
+  own buffers while sharing the trace).
+
+Steady-state calls therefore run a flat list of buffered numpy kernels with
+no per-op Python graph bookkeeping and no intermediate tensor allocations.
+
+Parity contract
+---------------
+For every supported module the compiled call computes the *same floating
+point operations in the same order* as the eager forward pass: kernels use
+``out=`` variants of the identical ufuncs, constant folding replays the
+eager expressions once, and fusion only removes dispatch (see
+:mod:`repro.engine.passes`).  Outputs are therefore bitwise identical to
+eager mode — the property tests in ``tests/engine`` and the ``validate=``
+flag enforce it.  The documented exception: a module whose forward performs
+value-dependent Python control flow or math outside the
+:mod:`repro.autodiff.ops` primitives is outside the traceable subset (the
+tracer misses it) — ``validate=True`` catches such modules at trace time.
+
+Parameter mutation (``load_state_dict``) mostly flows into compiled graphs
+because captured constants alias parameter storage, but call
+:meth:`CompiledModule.retrace` after mutating parameters for a guaranteed
+refresh; checkpoint loading via :mod:`repro.io.checkpoint` does this.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..autodiff.tensor import DEFAULT_DTYPE, Tensor
+from ..nn.module import Module
+from .graph import Graph
+from .kernels import build_step
+from .passes import optimize
+from .trace import TraceError, trace
+
+__all__ = [
+    "ExecutionPlan",
+    "CompiledModule",
+    "ModuleCache",
+    "compile_module",
+    "compile_solver",
+]
+
+
+class ExecutionPlan:
+    """A graph bound to preallocated buffers for one input-shape signature.
+
+    Not thread-safe: the plan's kernels write into buffers owned by the
+    plan.  :class:`CompiledModule` builds one plan per thread.
+    """
+
+    def __init__(self, graph: Graph):
+        slot_of: dict[int, int] = {}
+        for position, node in enumerate(graph):
+            slot_of[node.id] = position
+        self._slots: list = [None] * len(slot_of)
+        self._buffers: list[np.ndarray] = []
+        self._steps = []
+        for node in graph:
+            if node.is_placeholder:
+                continue
+            if node.is_constant:
+                self._slots[slot_of[node.id]] = node.value
+                continue
+            src = [slot_of[i] for i in node.inputs]
+            self._steps.append(build_step(node, src, slot_of[node.id], self._alloc))
+        self._input_slots = [slot_of[i] for i in graph.inputs]
+        self._output_slots = [slot_of[i] for i in graph.outputs]
+
+    def _alloc(self, shape, dtype) -> np.ndarray:
+        buffer = np.empty(shape, dtype=dtype if dtype is not None else DEFAULT_DTYPE)
+        self._buffers.append(buffer)
+        return buffer
+
+    @property
+    def buffer_bytes(self) -> int:
+        """Total bytes of the plan's preallocated intermediate buffers."""
+
+        return sum(int(b.nbytes) for b in self._buffers)
+
+    def run(self, arrays: list[np.ndarray]) -> list[np.ndarray]:
+        """Execute the plan; returned arrays may alias plan buffers."""
+
+        slots = self._slots
+        for slot, array in zip(self._input_slots, arrays):
+            slots[slot] = array
+        for step in self._steps:
+            step(slots)
+        return [slots[slot] for slot in self._output_slots]
+
+
+@dataclass
+class EngineStats:
+    """Counters of one :class:`CompiledModule` (diagnostics and tests)."""
+
+    calls: int = 0
+    traces: int = 0
+    plan_builds: int = 0
+
+    def as_dict(self) -> dict:
+        return {"calls": self.calls, "traces": self.traces,
+                "plan_builds": self.plan_builds}
+
+
+class CompiledModule:
+    """Trace-and-fuse compiled wrapper around an :class:`~repro.nn.module.Module`.
+
+    Exposes the same ``__call__`` contract as the source module (tensors in,
+    detached :class:`~repro.autodiff.tensor.Tensor` out) with bitwise-equal
+    outputs; see the module docstring for the parity contract.
+
+    Parameters
+    ----------
+    module:
+        The source module; kept (unmodified) for re-tracing and checkpointing.
+    passes:
+        Optimization pipeline; default
+        :data:`~repro.engine.passes.DEFAULT_PASSES`.
+    copy_outputs:
+        When ``True`` (default) outputs are copied out of the plan's buffers,
+        making calls safe to interleave freely.  ``False`` returns the
+        buffers themselves — fully allocation-free, but the arrays are
+        overwritten by the next same-shape call on the same thread.
+    validate:
+        When ``True``, every fresh trace is immediately checked bitwise
+        against an eager forward pass of the same inputs (costs one eager
+        call per new shape signature).
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        passes=None,
+        copy_outputs: bool = True,
+        validate: bool = False,
+    ):
+        self.module = module
+        self.passes = passes
+        self.copy_outputs = bool(copy_outputs)
+        self.validate = bool(validate)
+        self.stats = EngineStats()
+        self._graphs: dict[tuple, Graph] = {}
+        self._multi_output: dict[tuple, bool] = {}
+        self._lock = threading.Lock()
+        self._generation = 0
+        self._tls = threading.local()
+
+    # -- attribute passthrough ---------------------------------------------------
+
+    def __getattr__(self, name: str):
+        # Only called on misses: delegate public attributes (boundary_size,
+        # config, ...) to the source module so the compiled wrapper can stand
+        # in for it structurally, not just callably.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        try:
+            module = self.__dict__["module"]
+        except KeyError:
+            raise AttributeError(name) from None
+        return getattr(module, name)
+
+    # -- compilation -------------------------------------------------------------
+
+    @staticmethod
+    def _as_arrays(inputs: tuple) -> list[np.ndarray]:
+        # Mirror the eager conversion exactly: astensor/Tensor coerce every
+        # input to the library default dtype (no copy when already float64).
+        return [
+            np.asarray(x.data if isinstance(x, Tensor) else x, dtype=DEFAULT_DTYPE)
+            for x in inputs
+        ]
+
+    def _graph_for(self, signature: tuple, arrays: list[np.ndarray]) -> Graph:
+        with self._lock:
+            graph = self._graphs.get(signature)
+            if graph is not None:
+                return graph
+            graph = optimize(trace(self.module, *arrays), self.passes)
+            self.stats.traces += 1
+            if self.validate:
+                self._check_parity(graph, arrays)
+            self._graphs[signature] = graph
+            self._multi_output[signature] = len(graph.outputs) > 1
+            return graph
+
+    def _check_parity(self, graph: Graph, arrays: list[np.ndarray]) -> None:
+        from ..autodiff import no_grad
+
+        compiled = ExecutionPlan(graph).run(arrays)
+        with no_grad():
+            # Wrap inputs exactly as trace() does: a module applying Python
+            # operators to raw ndarray inputs would otherwise take numpy's
+            # operator path instead of the Tensor one and falsely diverge.
+            eager = self.module(*[Tensor(a) for a in arrays])
+        eager = eager if isinstance(eager, tuple) else (eager,)
+        for ours, theirs in zip(compiled, eager):
+            reference = theirs.data
+            if ours.shape != reference.shape or ours.tobytes() != reference.tobytes():
+                raise TraceError(
+                    "compiled output diverges from the eager forward pass; "
+                    "the module is outside the traceable subset (math outside "
+                    "repro.autodiff.ops, or value-dependent control flow)"
+                )
+
+    def _plan_for(self, signature: tuple, arrays: list[np.ndarray]) -> ExecutionPlan:
+        tls = self._tls
+        if getattr(tls, "generation", None) != self._generation:
+            tls.plans = {}
+            tls.generation = self._generation
+        plan = tls.plans.get(signature)
+        if plan is None:
+            plan = ExecutionPlan(self._graph_for(signature, arrays))
+            tls.plans[signature] = plan
+            with self._lock:
+                self.stats.plan_builds += 1
+        return plan
+
+    # -- execution ---------------------------------------------------------------
+
+    def predict(self, *inputs) -> np.ndarray:
+        """Run the compiled graph and return the raw output array(s)."""
+
+        arrays = self._as_arrays(inputs)
+        signature = tuple(a.shape for a in arrays)
+        plan = self._plan_for(signature, arrays)
+        self.stats.calls += 1
+        outputs = plan.run(arrays)
+        if self.copy_outputs:
+            outputs = [out.copy() for out in outputs]
+        if self._multi_output.get(signature, False):
+            return tuple(outputs)
+        return outputs[0]
+
+    def __call__(self, *inputs):
+        """Compiled forward pass; same contract as ``module(*inputs)``."""
+
+        result = self.predict(*inputs)
+        if isinstance(result, tuple):
+            return tuple(Tensor(out) for out in result)
+        return Tensor(result)
+
+    # -- management --------------------------------------------------------------
+
+    def graph_for(self, *example_inputs) -> Graph:
+        """The optimized graph for the given inputs' shapes (for inspection)."""
+
+        arrays = self._as_arrays(example_inputs)
+        return self._graph_for(tuple(a.shape for a in arrays), arrays)
+
+    @property
+    def signatures(self) -> list[tuple]:
+        """Shape signatures compiled so far."""
+
+        with self._lock:
+            return list(self._graphs)
+
+    def retrace(self) -> None:
+        """Drop every cached graph and plan (call after mutating parameters).
+
+        Plans held by other threads are invalidated lazily through a
+        generation counter checked on their next call.
+        """
+
+        with self._lock:
+            self._graphs.clear()
+            self._multi_output.clear()
+            self._generation += 1
+
+
+def compile_module(
+    module: Module,
+    *example_inputs,
+    passes=None,
+    copy_outputs: bool = True,
+    validate: bool = False,
+) -> CompiledModule:
+    """Compile ``module`` for inference; optionally pre-trace example inputs.
+
+    Returns a :class:`CompiledModule`; when ``example_inputs`` are given the
+    first shape signature is traced eagerly (otherwise tracing happens on
+    first call).
+    """
+
+    compiled = CompiledModule(
+        module, passes=passes, copy_outputs=copy_outputs, validate=validate
+    )
+    if example_inputs:
+        compiled.graph_for(*example_inputs)
+    return compiled
+
+
+# ---------------------------------------------------------------------------
+# Compiled-module cache (per-geometry caching in the serving layer)
+# ---------------------------------------------------------------------------
+
+
+class ModuleCache:
+    """A small thread-safe LRU of :class:`CompiledModule` instances.
+
+    The serving :class:`~repro.serving.server.Server` keys this like its LRU
+    solution cache — one entry per (model, geometry-group) — so worker ranks
+    spawned for successive batches reuse the same traced graphs instead of
+    re-tracing per batch.
+    """
+
+    def __init__(self, maxsize: int = 8):
+        if maxsize < 1:
+            raise ValueError("maxsize must be at least 1")
+        self.maxsize = int(maxsize)
+        self._entries: "OrderedDict[tuple, CompiledModule]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_create(self, key, factory) -> CompiledModule:
+        """Return the cached module for ``key``, building it on a miss."""
+
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return entry
+            self.misses += 1
+            entry = factory()
+            self._entries[key] = entry
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+            return entry
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+def compile_solver(solver, cache: ModuleCache | None = None, cache_key=None):
+    """Enable the inference engine on a neural subdomain solver.
+
+    ``SDNetSubdomainSolver`` instances (including subclasses) get a
+    :class:`CompiledModule` of their model attached *in place* — fetched
+    from ``cache`` when one is given, keyed by ``(id(model), cache_key)`` —
+    and are returned, so caller-held references keep accruing the solver's
+    ``inference_calls``/``points_evaluated`` counters.  Solvers with nothing
+    to compile — e.g. the exact finite-difference solver — pass through
+    unchanged, which makes ``engine=True`` a no-op rather than an error for
+    non-neural configurations.  Predictions are bitwise identical either
+    way, so enabling the engine on a shared solver only changes its speed.
+    """
+
+    from ..mosaic.solvers import SDNetSubdomainSolver
+
+    if not isinstance(solver, SDNetSubdomainSolver) or solver.engine is not None:
+        return solver
+    model = solver.model
+    if cache is not None:
+        compiled = cache.get_or_create(
+            (id(model), cache_key), lambda: compile_module(model)
+        )
+    else:
+        compiled = compile_module(model)
+    solver.engine = compiled
+    return solver

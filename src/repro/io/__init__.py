@@ -1,5 +1,17 @@
 """Checkpoint I/O for the pre-trained SDNet library."""
 
-from .checkpoint import load_model, load_sdnet, load_state, save_checkpoint
+from .checkpoint import (
+    load_compiled_sdnet,
+    load_model,
+    load_sdnet,
+    load_state,
+    save_checkpoint,
+)
 
-__all__ = ["save_checkpoint", "load_state", "load_model", "load_sdnet"]
+__all__ = [
+    "save_checkpoint",
+    "load_state",
+    "load_model",
+    "load_sdnet",
+    "load_compiled_sdnet",
+]

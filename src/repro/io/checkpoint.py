@@ -6,6 +6,14 @@ inference (Section 3).  This module provides the storage side of that
 library: models are saved as ``.npz`` archives holding every parameter plus a
 JSON-encoded configuration, and can be reloaded either into an existing
 module or reconstructed from the stored configuration.
+
+Compiled modules (:class:`repro.engine.CompiledModule`) round-trip through
+the same archives: saving stores the *source* module's state (a compiled
+module is a derived artifact, never serialized itself), and loading
+re-traces — :func:`load_compiled_sdnet` reconstructs the SDNet and compiles
+it, while :func:`load_model` into an existing compiled module loads the
+state and invalidates its cached graphs.  Re-traced outputs are bitwise
+identical to the pre-save compiled outputs.
 """
 
 from __future__ import annotations
@@ -18,7 +26,23 @@ import numpy as np
 from ..models import ConcatSolver, SDNet
 from ..nn import Module
 
-__all__ = ["save_checkpoint", "load_state", "load_sdnet", "load_model"]
+__all__ = [
+    "save_checkpoint",
+    "load_state",
+    "load_sdnet",
+    "load_model",
+    "load_compiled_sdnet",
+]
+
+
+def _unwrap_compiled(model):
+    """Return ``(source_module, compiled_or_None)`` for any model argument."""
+
+    from ..engine import CompiledModule
+
+    if isinstance(model, CompiledModule):
+        return model.module, model
+    return model, None
 
 _CONFIG_KEY = "__config_json__"
 _CLASS_KEY = "__model_class__"
@@ -30,7 +54,10 @@ def save_checkpoint(model: Module, path: str | Path, config: dict | None = None)
     Parameters
     ----------
     model:
-        Any :class:`repro.nn.Module`; its ``state_dict`` is stored verbatim.
+        Any :class:`repro.nn.Module`, or a
+        :class:`repro.engine.CompiledModule` (its source module's state is
+        stored; the compiled graphs are a derived artifact and re-created by
+        tracing on load).
     path:
         Target file; the ``.npz`` suffix is added if missing.
     config:
@@ -42,6 +69,7 @@ def save_checkpoint(model: Module, path: str | Path, config: dict | None = None)
     The path actually written.
     """
 
+    model, _ = _unwrap_compiled(model)
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
@@ -80,10 +108,18 @@ def load_state(path: str | Path) -> tuple[dict, dict, str]:
 
 
 def load_model(path: str | Path, model: Module) -> Module:
-    """Load checkpoint parameters into an already-constructed ``model``."""
+    """Load checkpoint parameters into an already-constructed ``model``.
 
+    ``model`` may be a :class:`repro.engine.CompiledModule`: the state loads
+    into its source module and the compiled graphs are invalidated so the
+    next call re-traces against the restored parameters.
+    """
+
+    target, compiled = _unwrap_compiled(model)
     state, _, _ = load_state(path)
-    model.load_state_dict(state)
+    target.load_state_dict(state)
+    if compiled is not None:
+        compiled.retrace()
     return model
 
 
@@ -116,3 +152,17 @@ def load_sdnet(path: str | Path, **overrides) -> SDNet:
     model = SDNet(activation=config.get("activation", "gelu"), **kwargs)
     model.load_state_dict(state)
     return model
+
+
+def load_compiled_sdnet(path: str | Path, **overrides):
+    """Reconstruct an SDNet from a checkpoint and compile it for inference.
+
+    The returned :class:`repro.engine.CompiledModule` traces lazily on first
+    call; its outputs are bitwise identical to those of a compiled module
+    saved before the round-trip (same parameters, same traced operations).
+    ``overrides`` are forwarded to :func:`load_sdnet`.
+    """
+
+    from ..engine import compile_module
+
+    return compile_module(load_sdnet(path, **overrides))

@@ -118,6 +118,12 @@ class MosaicFlowPredictor:
         solver call (Section 4.1).  Results are identical either way.
     init_mode:
         Lattice initialization passed to :func:`initialize_lattice_field`.
+    engine:
+        Run neural subdomain solves through the :mod:`repro.engine`
+        inference compiler: the solver is replaced with an engine-backed
+        clone via :func:`repro.engine.compile_solver` (a no-op for solvers
+        with nothing to compile, e.g. :class:`FDSubdomainSolver`).  Results
+        are bitwise identical to the eager path.
     """
 
     def __init__(
@@ -126,6 +132,7 @@ class MosaicFlowPredictor:
         solver: SubdomainSolver,
         batched: bool = True,
         init_mode: str = "mean",
+        engine: bool = False,
     ):
         expected = geometry.subdomain_grid().boundary_size
         if solver.boundary_size != expected:
@@ -133,6 +140,10 @@ class MosaicFlowPredictor:
                 f"solver boundary size {solver.boundary_size} does not match the "
                 f"geometry's subdomain boundary size {expected}"
             )
+        if engine:
+            from ..engine import compile_solver
+
+            solver = compile_solver(solver)
         self.geometry = geometry
         self.solver = solver
         self.batched = bool(batched)

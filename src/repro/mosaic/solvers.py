@@ -61,14 +61,28 @@ class SDNetSubdomainSolver:
         Optional cap on the number of subdomains evaluated per forward call;
         larger batches are split internally.  This mirrors the memory limit
         that determines the maximum feasible batch size in Figure 5.
+    engine:
+        Run forward passes through the :mod:`repro.engine` inference
+        compiler instead of the eager autodiff layer.  ``True`` compiles the
+        model on first use; an existing
+        :class:`~repro.engine.runtime.CompiledModule` of the same model can
+        be passed directly (how the serving layer shares per-geometry
+        compiled modules across worker ranks).  Predictions are bitwise
+        identical either way; see the engine's parity contract.
     """
 
-    def __init__(self, model: NeuralSolver, max_batch: int | None = None):
+    def __init__(self, model: NeuralSolver, max_batch: int | None = None, engine=False):
         self.model = model
         self.boundary_size = int(model.boundary_size)
         self.max_batch = max_batch
         self.inference_calls = 0
         self.points_evaluated = 0
+        #: the CompiledModule executing forward passes, or ``None`` for eager
+        self.engine = None
+        if engine is not False and engine is not None:
+            from ..engine import CompiledModule, compile_module
+
+            self.engine = engine if isinstance(engine, CompiledModule) else compile_module(model)
 
     def predict(self, boundaries: np.ndarray, points: np.ndarray) -> np.ndarray:
         boundaries = np.asarray(boundaries, dtype=float)
@@ -83,12 +97,13 @@ class SDNetSubdomainSolver:
         q = points.shape[0]
         out = np.empty((batch, q))
         step = batch if self.max_batch is None else max(int(self.max_batch), 1)
+        forward = self.model if self.engine is None else self.engine
         with no_grad():
             for start in range(0, batch, step):
                 stop = min(start + step, batch)
                 g = Tensor(boundaries[start:stop])
                 x = Tensor(np.broadcast_to(points, (stop - start, q, 2)).copy())
-                out[start:stop] = self.model(g, x).data
+                out[start:stop] = forward(g, x).data
                 self.inference_calls += 1
                 self.points_evaluated += (stop - start) * q
         return out

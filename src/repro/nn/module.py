@@ -35,10 +35,24 @@ class Module:
     # -- registration ---------------------------------------------------------
 
     def __setattr__(self, name: str, value) -> None:
+        # Re-assigning an attribute with a value of a *different* kind must
+        # drop the stale registration: leaving it behind would make
+        # ``named_parameters`` yield phantom entries (and, for a parameter
+        # shadowed by a module, duplicate names), breaking the deterministic
+        # iteration order that tracing and checkpointing rely on.
         if isinstance(value, Parameter):
+            self._modules.pop(name, None)
             self._parameters[name] = value
         elif isinstance(value, Module):
+            self._parameters.pop(name, None)
             self._modules[name] = value
+        else:
+            # Plain values may be assigned before ``Module.__init__`` ran
+            # (the registries do not exist yet) — only clean up when they do.
+            parameters = self.__dict__.get("_parameters")
+            if parameters is not None:
+                parameters.pop(name, None)
+                self.__dict__["_modules"].pop(name, None)
         object.__setattr__(self, name, value)
 
     def register_parameter(self, name: str, param: Parameter) -> None:
@@ -52,6 +66,16 @@ class Module:
     # -- iteration -------------------------------------------------------------
 
     def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` pairs in a deterministic order.
+
+        The order is documented and stable across runs: this module's own
+        parameters first, in registration order (the order of *first*
+        assignment; re-assigning an existing name keeps its position), then
+        each sub-module's parameters in sub-module registration order,
+        depth-first.  Tracing, ``state_dict`` serialization and data-parallel
+        parameter broadcasts all rely on this ordering.
+        """
+
         for name, param in self._parameters.items():
             yield (f"{prefix}{name}", param)
         for mod_name, module in self._modules.items():

@@ -61,6 +61,11 @@ class FusedBatchRunner:
     assembly_batch:
         Anchor chunk size of the dense assembly, mirroring
         :func:`~repro.mosaic.assembly.accumulate_dense_predictions`.
+    engine:
+        Run neural subdomain solves through the :mod:`repro.engine`
+        inference compiler (see
+        :class:`~repro.mosaic.predictor.MosaicFlowPredictor`); fused
+        results stay bitwise identical.
     """
 
     def __init__(
@@ -70,6 +75,7 @@ class FusedBatchRunner:
         init_mode: str = "mean",
         check_interval: int = 1,
         assembly_batch: int = 256,
+        engine: bool = False,
     ):
         expected = geometry.subdomain_grid().boundary_size
         if solver.boundary_size != expected:
@@ -79,6 +85,10 @@ class FusedBatchRunner:
             )
         if check_interval < 1:
             raise ValueError("check_interval must be at least 1")
+        if engine:
+            from ..engine import compile_solver
+
+            solver = compile_solver(solver)
         self.geometry = geometry
         self.solver = solver
         self.init_mode = init_mode

@@ -70,6 +70,17 @@ class Server:
         Ranks of the worker pool each fused batch is sharded across.
     clock:
         Monotonic time source (injectable for deterministic tests).
+    engine:
+        Run neural subdomain solves through the :mod:`repro.engine`
+        inference compiler.  Each solver built by ``solver_factory`` is
+        replaced with an engine-backed clone whose
+        :class:`~repro.engine.runtime.CompiledModule` comes from a
+        per-geometry LRU (:class:`~repro.engine.runtime.ModuleCache`, keyed
+        like the solution cache by the request's geometry group), so worker
+        ranks of successive batches reuse the same traced graphs.  Served
+        results are bitwise identical with the engine on or off.
+    engine_cache_size:
+        Capacity of the per-geometry compiled-module LRU.
     """
 
     def __init__(
@@ -81,6 +92,8 @@ class Server:
         latency_budget_seconds: float | None = None,
         world_size: int = 1,
         clock=time.monotonic,
+        engine: bool = False,
+        engine_cache_size: int = 8,
     ):
         self.solver_factory = solver_factory
         self.policy = policy or BatchPolicy()
@@ -89,6 +102,12 @@ class Server:
         self.latency_budget_seconds = latency_budget_seconds
         self.world_size = int(world_size)
         self.clock = clock
+        self.engine = bool(engine)
+        self.engine_modules = None
+        if self.engine:
+            from ..engine import ModuleCache
+
+            self.engine_modules = ModuleCache(engine_cache_size)
         self.stats = ServingStats()
         self._batchers: dict[tuple, DynamicBatcher] = {}
         self._pools: dict[tuple, WorkerPool] = {}
@@ -181,13 +200,35 @@ class Server:
         if pool is None:
             pool = WorkerPool(
                 request.geometry,
-                self.solver_factory,
+                self._engine_solver_factory(request.geometry),
                 world_size=self.world_size,
                 init_mode=request.init_mode,
                 check_interval=request.check_interval,
             )
             self._pools[key] = pool
         return pool
+
+    def _engine_solver_factory(self, geometry):
+        """Solver factory handed to worker pools (engine-wrapped when enabled).
+
+        With ``engine=True`` every per-rank solver is cloned onto a compiled
+        module fetched from the per-geometry :class:`ModuleCache`, so ranks
+        and successive batches of one geometry group share a single traced
+        graph while keeping their own execution buffers (plans are
+        per-thread).
+        """
+
+        if not self.engine:
+            return self.solver_factory
+        base = self.solver_factory
+        modules = self.engine_modules
+
+        def factory(geom):
+            from ..engine import compile_solver
+
+            return compile_solver(base(geom), cache=modules, cache_key=geometry)
+
+        return factory
 
     def _run_batches(self, batches: list[Batch]) -> None:
         for batch in batches:

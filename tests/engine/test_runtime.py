@@ -1,0 +1,273 @@
+"""Runtime behaviour: plan caching, threading, solver/server integration."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine import CompiledModule, ModuleCache, compile_module, compile_solver
+from repro.mosaic import (
+    FDSubdomainSolver,
+    MosaicFlowPredictor,
+    MosaicGeometry,
+    SDNetSubdomainSolver,
+)
+from repro.models import SDNet
+from repro.nn import MLP
+from repro.serving import FusedBatchRunner, Server, SolveRequest
+from repro.utils import seeded_rng
+
+
+@pytest.fixture(scope="module")
+def engine_sdnet(request):
+    geometry = MosaicGeometry(subdomain_points=9, subdomain_extent=0.5,
+                              steps_x=4, steps_y=4)
+    net = SDNet(
+        boundary_size=geometry.subdomain_grid().boundary_size,
+        hidden_size=12,
+        trunk_layers=2,
+        embedding_channels=(2,),
+        rng=7,
+    )
+    return geometry, net
+
+
+def _loop(geometry, seed=0):
+    rng = seeded_rng(seed)
+    w = rng.normal(size=3)
+    return geometry.boundary_from_function(
+        lambda x, y: w[0] * (x * x - y * y) + w[1] * x * y + w[2] * (x - 2.0 * y)
+    )
+
+
+class TestPlanCaching:
+    def test_one_trace_per_shape_signature(self):
+        mlp = MLP([3, 8, 1], rng=np.random.default_rng(0))
+        compiled = compile_module(mlp)
+        x = np.zeros((4, 3))
+        compiled(x)
+        compiled(x + 1)
+        compiled(np.zeros((9, 3)))
+        assert compiled.stats.traces == 2
+        assert compiled.stats.plan_builds == 2
+        assert compiled.stats.calls == 3
+
+    def test_precompiled_example_inputs(self):
+        mlp = MLP([3, 8, 1], rng=np.random.default_rng(0))
+        compiled = compile_module(mlp, np.zeros((4, 3)))
+        assert compiled.stats.traces == 1
+        compiled(np.ones((4, 3)))
+        assert compiled.stats.traces == 1
+
+    def test_copy_outputs_false_reuses_buffer(self):
+        mlp = MLP([3, 8, 2], rng=np.random.default_rng(0))
+        compiled = compile_module(mlp, copy_outputs=False)
+        first = compiled.predict(np.zeros((4, 3)))
+        snapshot = first.copy()
+        second = compiled.predict(np.ones((4, 3)))
+        assert second is first  # same plan buffer
+        assert not np.array_equal(first, snapshot)  # overwritten in place
+        # copying mode returns fresh arrays
+        copying = compile_module(mlp)
+        a = copying.predict(np.zeros((4, 3)))
+        b = copying.predict(np.ones((4, 3)))
+        assert a is not b
+
+    def test_attribute_passthrough(self):
+        net = SDNet(boundary_size=16, hidden_size=8, trunk_layers=1,
+                    embedding_channels=(), rng=0)
+        compiled = compile_module(net)
+        assert compiled.boundary_size == 16
+        assert compiled.config()["boundary_size"] == 16
+
+    def test_retrace_invalidates_other_threads_plans(self):
+        mlp = MLP([2, 4, 1], rng=np.random.default_rng(0))
+        compiled = compile_module(mlp)
+        x = np.ones((3, 2))
+        compiled(x)
+        builds_before = compiled.stats.plan_builds
+        compiled.retrace()
+        compiled(x)
+        assert compiled.stats.plan_builds == builds_before + 1
+
+
+class TestThreadSafety:
+    def test_shared_compiled_module_across_threads(self):
+        """Ranks share traces but never buffers: concurrent calls stay exact."""
+
+        net = SDNet(boundary_size=16, hidden_size=8, trunk_layers=1,
+                    embedding_channels=(2,), rng=3)
+        compiled = compile_module(net)
+        rng = seeded_rng(5)
+        inputs = [
+            (rng.normal(size=(4, 16)), rng.normal(size=(4, 6, 2)))
+            for _ in range(4)
+        ]
+        expected = [net.predict(g, x) for g, x in inputs]
+        failures: list[str] = []
+
+        def worker(index):
+            g, x = inputs[index]
+            for _ in range(30):
+                out = compiled.predict(g, x)
+                if out.tobytes() != expected[index].tobytes():
+                    failures.append(f"thread {index} diverged")
+                    return
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+        assert compiled.stats.traces == 1  # one shared graph
+        assert compiled.stats.plan_builds == 4  # one plan per thread
+
+
+class TestModuleCache:
+    def test_lru_eviction_and_hits(self):
+        cache = ModuleCache(maxsize=2)
+        mlp = MLP([2, 2], rng=np.random.default_rng(0))
+        a = cache.get_or_create("a", lambda: compile_module(mlp))
+        assert cache.get_or_create("a", lambda: compile_module(mlp)) is a
+        cache.get_or_create("b", lambda: compile_module(mlp))
+        cache.get_or_create("c", lambda: compile_module(mlp))  # evicts "a"
+        assert len(cache) == 2
+        fresh = cache.get_or_create("a", lambda: compile_module(mlp))
+        assert fresh is not a
+        assert cache.hits == 1 and cache.misses == 4
+
+    def test_compile_solver_uses_cache(self):
+        net = SDNet(boundary_size=16, hidden_size=8, trunk_layers=1,
+                    embedding_channels=(), rng=0)
+        cache = ModuleCache()
+        first = compile_solver(SDNetSubdomainSolver(net), cache=cache, cache_key="geo")
+        second = compile_solver(SDNetSubdomainSolver(net), cache=cache, cache_key="geo")
+        assert first.engine is second.engine
+        assert cache.hits == 1
+
+    def test_compile_solver_passes_non_neural_through(self):
+        geometry = MosaicGeometry(subdomain_points=9, subdomain_extent=0.5,
+                                  steps_x=4, steps_y=4)
+        solver = FDSubdomainSolver(geometry.subdomain_grid())
+        assert compile_solver(solver) is solver
+
+    def test_engine_solver_keeps_identity_and_counters(self, engine_sdnet):
+        """Caller-held solver references keep accruing inference counters."""
+
+        geometry, net = engine_sdnet
+        solver = SDNetSubdomainSolver(net)
+        predictor = MosaicFlowPredictor(geometry, solver, engine=True)
+        assert predictor.solver is solver
+        assert solver.engine is not None
+        predictor.run(_loop(geometry), max_iterations=8, tol=1e-7)
+        assert solver.inference_calls > 0
+        assert solver.points_evaluated > 0
+
+
+class TestIntegrationParity:
+    def test_predictor_engine_bitwise(self, engine_sdnet):
+        geometry, net = engine_sdnet
+        loop = _loop(geometry)
+        eager = MosaicFlowPredictor(geometry, SDNetSubdomainSolver(net)).run(
+            loop, max_iterations=24, tol=1e-7
+        )
+        engine = MosaicFlowPredictor(
+            geometry, SDNetSubdomainSolver(net), engine=True
+        ).run(loop, max_iterations=24, tol=1e-7)
+        assert eager.iterations == engine.iterations
+        assert eager.converged == engine.converged
+        np.testing.assert_array_equal(eager.solution, engine.solution)
+        np.testing.assert_array_equal(eager.lattice_field, engine.lattice_field)
+
+    def test_fused_runner_engine_bitwise(self, engine_sdnet):
+        geometry, net = engine_sdnet
+        loops = np.stack([_loop(geometry, seed) for seed in range(3)])
+        eager = FusedBatchRunner(geometry, SDNetSubdomainSolver(net)).run(
+            loops, 1e-6, 24
+        )
+        engine = FusedBatchRunner(
+            geometry, SDNetSubdomainSolver(net), engine=True
+        ).run(loops, 1e-6, 24)
+        for a, b in zip(eager, engine):
+            assert a.iterations == b.iterations
+            np.testing.assert_array_equal(a.solution, b.solution)
+
+    def test_server_engine_bitwise_and_cached_modules(self, engine_sdnet):
+        geometry, net = engine_sdnet
+        loops = [_loop(geometry, seed) for seed in range(4)]
+
+        def factory(geom):
+            return SDNetSubdomainSolver(net)
+
+        solutions = {}
+        for engine_on in (False, True):
+            server = Server(solver_factory=factory, world_size=2, engine=engine_on)
+            ids = [
+                server.submit(
+                    SolveRequest.create(geometry, loop, tol=1e-6, max_iterations=24)
+                )
+                for loop in loops
+            ]
+            results = server.drain()
+            solutions[engine_on] = [results[i].solution for i in ids]
+            if engine_on:
+                # every worker rank reused one compiled module per geometry
+                assert len(server.engine_modules) == 1
+                assert server.engine_modules.hits >= 1
+        for eager, engine in zip(solutions[False], solutions[True]):
+            np.testing.assert_array_equal(eager, engine)
+
+    def test_distributed_engine_bitwise(self, engine_sdnet):
+        from repro.mosaic.distributed import DistributedMosaicFlowPredictor
+
+        geometry, net = engine_sdnet
+        loop = _loop(geometry)
+        eager = DistributedMosaicFlowPredictor(
+            geometry, lambda: SDNetSubdomainSolver(net)
+        ).run(4, loop, max_iterations=16, tol=1e-7)
+        engine = DistributedMosaicFlowPredictor(
+            geometry, lambda: SDNetSubdomainSolver(net), engine=True
+        ).run(4, loop, max_iterations=16, tol=1e-7)
+        assert eager[0].iterations == engine[0].iterations
+        np.testing.assert_array_equal(eager[0].solution, engine[0].solution)
+
+
+class TestCheckpointRoundTrip:
+    def test_compiled_module_roundtrip_is_bitwise(self, tmp_path):
+        """Save a CompiledModule's source, re-trace on load: outputs bitwise."""
+
+        from repro.io import load_compiled_sdnet, save_checkpoint
+
+        rng = seeded_rng(23)
+        net = SDNet(boundary_size=16, hidden_size=8, trunk_layers=1,
+                    embedding_channels=(2,), rng=rng)
+        compiled = compile_module(net)
+        g = rng.normal(size=(3, 16))
+        x = rng.normal(size=(3, 5, 2))
+        before = compiled(g, x).data
+
+        path = save_checkpoint(compiled, tmp_path / "compiled_sdnet")
+        restored = load_compiled_sdnet(path)
+        assert isinstance(restored, CompiledModule)
+        after = restored(g, x).data
+        assert before.tobytes() == after.tobytes()
+
+    def test_load_model_into_compiled_retraces(self, tmp_path):
+        from repro.io import load_model, save_checkpoint
+
+        rng = seeded_rng(29)
+        source = SDNet(boundary_size=16, hidden_size=8, trunk_layers=1,
+                       embedding_channels=(), rng=1)
+        path = save_checkpoint(source, tmp_path / "source")
+
+        target = SDNet(boundary_size=16, hidden_size=8, trunk_layers=1,
+                       embedding_channels=(), rng=2)
+        compiled = compile_module(target)
+        g = rng.normal(size=(2, 16))
+        x = rng.normal(size=(2, 4, 2))
+        compiled(g, x)  # build a plan against the old parameters
+        load_model(path, compiled)
+        assert compiled(g, x).data.tobytes() == source.predict(g, x).tobytes()

@@ -1,0 +1,164 @@
+"""Tracing: graph capture, decomposition, patch hygiene, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, ops
+from repro.engine import Graph, TraceError, trace
+from repro.nn import MLP, Linear, Module
+
+
+class TestGraphCapture:
+    def test_linear_layer_graph(self):
+        layer = Linear(3, 4, rng=np.random.default_rng(0))
+        graph = trace(layer, np.zeros((5, 3)))
+        counts = graph.op_counts()
+        assert counts["placeholder"] == 1
+        assert counts["matmul"] == 1
+        assert counts["transpose"] == 1  # weight transpose, recorded pre-folding
+        assert counts["add"] == 1  # bias
+        assert len(graph.outputs) == 1
+        assert graph.node(graph.outputs[0]).shape == (5, 4)
+
+    def test_parameters_become_named_constants(self):
+        layer = Linear(3, 4, rng=np.random.default_rng(0))
+        graph = trace(layer, np.zeros((2, 3)))
+        params = {n.param for n in graph if n.is_constant and n.param}
+        assert params == {"weight", "bias"}
+
+    def test_parameter_constants_alias_storage(self):
+        layer = Linear(3, 4, rng=np.random.default_rng(0))
+        graph = trace(layer, np.zeros((2, 3)))
+        weight_nodes = [n for n in graph if n.param == "weight"]
+        assert len(weight_nodes) == 1
+        assert weight_nodes[0].value is layer.weight.data
+
+    def test_composite_ops_decompose_into_primitives(self):
+        class MeanNet(Module):
+            def forward(self, x):
+                return ops.mean(x, axis=1)  # mean = div(sum(...))
+
+        graph = trace(MeanNet(), np.ones((4, 6)))
+        counts = graph.op_counts()
+        assert "mean" not in counts
+        assert counts["sum"] == 1
+        assert counts["div"] == 1
+
+    def test_graph_is_topological_and_printable(self):
+        mlp = MLP([3, 8, 1], rng=np.random.default_rng(1))
+        graph = trace(mlp, np.zeros((2, 3)))
+        graph.validate()
+        text = str(graph)
+        assert "placeholder" in text and "matmul" in text and "# output" in text
+
+    def test_scalar_operands_lift_to_constants(self):
+        class ScaleNet(Module):
+            def forward(self, x):
+                return 2.5 * x + 1.0
+
+        graph = trace(ScaleNet(), np.ones(3))
+        consts = [n for n in graph if n.is_constant]
+        values = sorted(float(n.value) for n in consts)
+        assert values == [1.0, 2.5]
+
+    def test_non_tensor_output_raises(self):
+        class BadNet(Module):
+            def forward(self, x):
+                return x.data  # raw ndarray escapes the traced world
+
+        with pytest.raises(TraceError):
+            trace(BadNet(), np.ones(3))
+
+    def test_trace_specializes_to_shapes(self):
+        mlp = MLP([3, 4, 1], rng=np.random.default_rng(0))
+        g2 = trace(mlp, np.zeros((2, 3)))
+        g7 = trace(mlp, np.zeros((7, 3)))
+        assert g2.node(g2.outputs[0]).shape == (2, 1)
+        assert g7.node(g7.outputs[0]).shape == (7, 1)
+
+
+class TestPatchHygiene:
+    def test_ops_restored_after_trace(self):
+        originals = {name: getattr(ops, name) for name in ("add", "matmul", "erf")}
+        trace(MLP([2, 3, 1], rng=np.random.default_rng(0)), np.zeros((1, 2)))
+        for name, fn in originals.items():
+            assert getattr(ops, name) is fn
+
+    def test_ops_restored_after_failed_trace(self):
+        original_add = ops.add
+
+        class Exploding(Module):
+            def forward(self, x):
+                raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            trace(Exploding(), np.ones(2))
+        assert ops.add is original_add
+
+    def test_nested_trace_on_one_thread_rejected(self):
+        outer_mlp = MLP([2, 2], rng=np.random.default_rng(0))
+
+        class Nesting(Module):
+            def forward(self, x):
+                trace(outer_mlp, np.zeros((1, 2)))
+                return x
+
+        with pytest.raises(TraceError):
+            trace(Nesting(), np.ones(2))
+
+    def test_eager_math_unaffected_during_concurrent_trace(self):
+        """A thread with no active tracer must record nothing, anywhere."""
+
+        mlp = MLP([4, 16, 1], rng=np.random.default_rng(0))
+        stop = threading.Event()
+        graphs: list[Graph] = []
+
+        def tracing_loop():
+            while not stop.is_set():
+                graphs.append(trace(mlp, np.zeros((3, 4))))
+
+        worker = threading.Thread(target=tracing_loop)
+        worker.start()
+        try:
+            x = Tensor(np.linspace(0.0, 1.0, 8), requires_grad=True)
+            for _ in range(50):
+                y = (x * x).sum()
+                y.backward()
+                assert x.grad is not None
+                x.zero_grad()
+        finally:
+            stop.set()
+            worker.join()
+        # Every trace of the same module/shape captured the same graph.
+        sizes = {len(g) for g in graphs}
+        assert len(sizes) == 1
+
+    def test_concurrent_traces_are_isolated(self):
+        mlp_small = MLP([2, 3, 1], rng=np.random.default_rng(0))
+        mlp_big = MLP([2, 3, 3, 3, 1], rng=np.random.default_rng(1))
+        results: dict[str, Graph] = {}
+        errors: list[Exception] = []
+
+        def run(name, module):
+            try:
+                for _ in range(20):
+                    results[name] = trace(module, np.zeros((2, 2)))
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=("small", mlp_small)),
+            threading.Thread(target=run, args=("big", mlp_big)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(results["big"]) > len(results["small"])
+        results["small"].validate()
+        results["big"].validate()

@@ -41,6 +41,64 @@ class TestRegistration:
         assert all(name != "bias" for name, _ in layer.named_parameters())
 
 
+class TestDeterministicIteration:
+    """Regression tests for the documented parameter-iteration order.
+
+    Tracing (repro.engine) and checkpointing both depend on
+    ``named_parameters`` yielding a deterministic order: own parameters in
+    first-assignment order, then sub-modules depth-first in registration
+    order, with stale registrations dropped on attribute overwrite.
+    """
+
+    def test_order_is_registration_then_depth_first(self):
+        net = TinyNet()
+        names = [name for name, _ in net.named_parameters()]
+        # own parameters first (registration order), then sub-modules
+        # depth-first in registration order
+        assert names == [
+            "scale", "layer1.weight", "layer1.bias", "layer2.weight", "layer2.bias"
+        ]
+
+    def test_order_is_stable_across_constructions(self):
+        first = [name for name, _ in TinyNet().named_parameters()]
+        second = [name for name, _ in TinyNet().named_parameters()]
+        assert first == second
+
+    def test_reassigning_parameter_keeps_position(self):
+        net = TinyNet()
+        net.scale = Parameter(np.array(3.0))
+        names = [name for name, _ in net.named_parameters()]
+        assert names[0] == "scale"  # re-assignment keeps first-assignment position
+        assert float(net.state_dict()["scale"]) == 3.0
+
+    def test_overwriting_parameter_with_module_drops_stale_entry(self):
+        net = TinyNet()
+        net.scale = Linear(2, 2, rng=np.random.default_rng(3))
+        names = [name for name, _ in net.named_parameters()]
+        assert "scale" not in names  # the stale Parameter is gone
+        assert "scale.weight" in names and "scale.bias" in names
+        assert len(names) == len(set(names))  # no duplicate names
+
+    def test_overwriting_module_with_parameter_drops_stale_entry(self):
+        net = TinyNet()
+        net.layer2 = Parameter(np.zeros(3))
+        names = [name for name, _ in net.named_parameters()]
+        assert "layer2" in names
+        assert not any(name.startswith("layer2.") for name in names)
+
+    def test_overwriting_with_plain_value_unregisters(self):
+        net = TinyNet()
+        net.scale = 4.0
+        assert "scale" not in dict(net.named_parameters())
+        net.layer2 = None
+        names = [name for name, _ in net.named_parameters()]
+        assert names == ["layer1.weight", "layer1.bias"]
+
+    def test_state_dict_key_order_matches_iteration(self):
+        net = TinyNet()
+        assert list(net.state_dict()) == [name for name, _ in net.named_parameters()]
+
+
 class TestStateDict:
     def test_roundtrip(self):
         net = TinyNet()
