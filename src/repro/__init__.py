@@ -52,8 +52,10 @@ _DOMAINS_EXPORTS = (
 #: inference-engine names re-exported at the package top level
 _ENGINE_EXPORTS = (
     "CompiledModule",
+    "CompiledValueAndGrad",
     "compile_module",
     "compile_solver",
+    "compile_value_and_grad",
 )
 
 __all__ = [

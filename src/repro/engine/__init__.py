@@ -25,16 +25,31 @@ layer that does repeated inference via ``engine=`` configuration:
 :class:`~repro.serving.server.Server` (with per-geometry
 :class:`ModuleCache` reuse) and
 :class:`~repro.mosaic.distributed.DistributedMosaicFlowPredictor` workers.
+
+The engine also covers the *training* hot path: :mod:`.jet` traces the
+Taylor-mode physics loss **and** its parameter reverse sweep into one
+static program (every VJP is itself built from primitives, so the backward
+records like any forward), optimizes it with the mutation-safe
+:data:`~repro.engine.passes.TRAINING_PASSES` pipeline (Faà di Bruno jet
+fusion, view-only folding of trainable parameters), and executes it through
+**bucketed batch-dimension plans** (:mod:`.bucketing`) with byte-budgeted
+per-thread plan caches — loss values and parameter gradients stay bitwise
+equal to the eager tape.  :class:`~repro.pde.losses.PinnLoss` and
+:class:`~repro.training.trainer.TrainingConfig` expose it as ``engine=``.
 """
 
+from .bucketing import BucketedPlan, BucketingError, bucket_capacity, build_template
 from .graph import Graph, GraphError, Node
+from .jet import CompiledValueAndGrad, JetStats, compile_value_and_grad
 from .kernels import KernelError, build_step, evaluate_node
 from .passes import (
     DEFAULT_PASSES,
     FUSION_RULES,
+    TRAINING_PASSES,
     FusionRule,
     eliminate_dead_code,
     fold_constants,
+    fold_mutable_constants,
     fuse_elementwise,
     lower_gathers,
     optimize,
@@ -44,23 +59,33 @@ from .runtime import (
     CompiledModule,
     ExecutionPlan,
     ModuleCache,
+    PlanCache,
     compile_module,
     compile_solver,
 )
-from .trace import TraceError, trace
+from .trace import TraceError, trace, trace_program
 
 __all__ = [
+    "BucketedPlan",
+    "BucketingError",
+    "bucket_capacity",
+    "build_template",
     "Graph",
     "GraphError",
     "Node",
+    "CompiledValueAndGrad",
+    "JetStats",
+    "compile_value_and_grad",
     "KernelError",
     "build_step",
     "evaluate_node",
     "DEFAULT_PASSES",
     "FUSION_RULES",
+    "TRAINING_PASSES",
     "FusionRule",
     "eliminate_dead_code",
     "fold_constants",
+    "fold_mutable_constants",
     "fuse_elementwise",
     "lower_gathers",
     "optimize",
@@ -68,8 +93,10 @@ __all__ = [
     "CompiledModule",
     "ExecutionPlan",
     "ModuleCache",
+    "PlanCache",
     "compile_module",
     "compile_solver",
     "TraceError",
     "trace",
+    "trace_program",
 ]

@@ -62,6 +62,33 @@ def _eval_affine(a, b, bias):
     return (a @ b) + bias
 
 
+def _eval_phi(x, attrs):
+    """Standard normal PDF chain, eager op order."""
+
+    return attrs["phi_const"] * np.exp(attrs["neg_half_const"] * (x * x))
+
+
+def _eval_gelu_d1(x, attrs):
+    big_phi = attrs["half_const"] * (
+        attrs["one_const"] + _special.erf(x / attrs["div_const"])
+    )
+    return big_phi + x * _eval_phi(x, attrs)
+
+
+def _eval_gelu_d2(x, attrs):
+    return _eval_phi(x, attrs) * (attrs["two_const"] - x * x)
+
+
+def _eval_tanh_d1(x, attrs):
+    t = np.tanh(x)
+    return attrs["one_const"] - t * t
+
+
+def _eval_tanh_d2(x, attrs):
+    t = np.tanh(x)
+    return (attrs["neg_two_const"] * t) * (attrs["one_const"] - t * t)
+
+
 _EVALUATORS: dict[str, Callable] = {
     "add": lambda v, n: v[0] + v[1],
     "sub": lambda v, n: v[0] - v[1],
@@ -101,6 +128,14 @@ _EVALUATORS: dict[str, Callable] = {
     "affine": lambda v, n: _eval_affine(v[0], v[1], v[2]),
     "affine_gelu": lambda v, n: _eval_gelu(_eval_affine(v[0], v[1], v[2]), n.attrs),
     "affine_tanh": lambda v, n: np.tanh(_eval_affine(v[0], v[1], v[2])),
+    # fused Faa di Bruno jet ops (Taylor-mode Laplacian path)
+    "gelu_d1": lambda v, n: _eval_gelu_d1(v[0], n.attrs),
+    "gelu_d2": lambda v, n: _eval_gelu_d2(v[0], n.attrs),
+    "tanh_d1": lambda v, n: _eval_tanh_d1(v[0], n.attrs),
+    "tanh_d2": lambda v, n: _eval_tanh_d2(v[0], n.attrs),
+    "jet_d2": lambda v, n: v[0] * (v[1] * v[1]) + v[2] * v[3],
+    "erf_vjp": lambda v, n: v[0] * (n.attrs["coeff_const"] * np.exp(-(v[1] * v[1]))),
+    "mul_exp": lambda v, n: v[0] * np.exp(v[1]),
 }
 
 
@@ -379,6 +414,131 @@ def build_step(node: Node, src: list[int], dst: int, alloc) -> Step:
                 slots[dst] = buf
 
         return run_affine_act
+
+    if op == "gelu_d1":
+        (x,) = src
+        attrs = node.attrs
+        div_const = attrs["div_const"]
+        one_const = attrs["one_const"]
+        half_const = attrs["half_const"]
+        neg_half = attrs["neg_half_const"]
+        phi_const = attrs["phi_const"]
+        big_phi = alloc(node.shape, node.dtype)
+        buf = alloc(node.shape, node.dtype)
+
+        def run_gelu_d1(slots):
+            value = slots[x]
+            # Phi(x) = half * (one + erf(x / sqrt2))
+            np.divide(value, div_const, out=big_phi)
+            _special.erf(big_phi, big_phi)
+            np.add(one_const, big_phi, out=big_phi)
+            np.multiply(half_const, big_phi, out=big_phi)
+            # x * phi(x) = x * (c_phi * exp(neg_half * x^2))
+            np.multiply(value, value, out=buf)
+            np.multiply(neg_half, buf, out=buf)
+            np.exp(buf, out=buf)
+            np.multiply(phi_const, buf, out=buf)
+            np.multiply(value, buf, out=buf)
+            np.add(big_phi, buf, out=buf)
+            slots[dst] = buf
+
+        return run_gelu_d1
+
+    if op == "gelu_d2":
+        (x,) = src
+        attrs = node.attrs
+        neg_half = attrs["neg_half_const"]
+        phi_const = attrs["phi_const"]
+        two_const = attrs["two_const"]
+        scratch = alloc(node.shape, node.dtype)
+        buf = alloc(node.shape, node.dtype)
+
+        def run_gelu_d2(slots):
+            value = slots[x]
+            # phi(x)
+            np.multiply(value, value, out=buf)
+            np.multiply(neg_half, buf, out=buf)
+            np.exp(buf, out=buf)
+            np.multiply(phi_const, buf, out=buf)
+            # two - x^2
+            np.multiply(value, value, out=scratch)
+            np.subtract(two_const, scratch, out=scratch)
+            np.multiply(buf, scratch, out=buf)
+            slots[dst] = buf
+
+        return run_gelu_d2
+
+    if op == "tanh_d1":
+        (x,) = src
+        one_const = node.attrs["one_const"]
+        buf = alloc(node.shape, node.dtype)
+
+        def run_tanh_d1(slots):
+            np.tanh(slots[x], out=buf)
+            np.multiply(buf, buf, out=buf)
+            np.subtract(one_const, buf, out=buf)
+            slots[dst] = buf
+
+        return run_tanh_d1
+
+    if op == "tanh_d2":
+        (x,) = src
+        neg_two = node.attrs["neg_two_const"]
+        one_const = node.attrs["one_const"]
+        scratch = alloc(node.shape, node.dtype)
+        buf = alloc(node.shape, node.dtype)
+
+        def run_tanh_d2(slots):
+            np.tanh(slots[x], out=scratch)
+            np.multiply(neg_two, scratch, out=buf)
+            np.multiply(scratch, scratch, out=scratch)
+            np.subtract(one_const, scratch, out=scratch)
+            np.multiply(buf, scratch, out=buf)
+            slots[dst] = buf
+
+        return run_tanh_d2
+
+    if op == "jet_d2":
+        second, d1, first, d2 = src
+        scratch = alloc(node.shape, node.dtype)
+        buf = alloc(node.shape, node.dtype)
+
+        def run_jet_d2(slots):
+            # second * (d1 * d1) + first * d2, eager op order
+            np.multiply(slots[d1], slots[d1], out=scratch)
+            np.multiply(slots[second], scratch, out=scratch)
+            np.multiply(slots[first], slots[d2], out=buf)
+            np.add(scratch, buf, out=buf)
+            slots[dst] = buf
+
+        return run_jet_d2
+
+    if op == "erf_vjp":
+        g_slot, a_slot = src
+        coeff = node.attrs["coeff_const"]
+        buf = alloc(node.shape, node.dtype)
+
+        def run_erf_vjp(slots):
+            a = slots[a_slot]
+            np.multiply(a, a, out=buf)
+            np.negative(buf, out=buf)
+            np.exp(buf, out=buf)
+            np.multiply(coeff, buf, out=buf)
+            np.multiply(slots[g_slot], buf, out=buf)
+            slots[dst] = buf
+
+        return run_erf_vjp
+
+    if op == "mul_exp":
+        g_slot, a_slot = src
+        buf = alloc(node.shape, node.dtype)
+
+        def run_mul_exp(slots):
+            np.exp(slots[a_slot], out=buf)
+            np.multiply(slots[g_slot], buf, out=buf)
+            slots[dst] = buf
+
+        return run_mul_exp
 
     if op in _EVALUATORS:
         # Ops without a buffered kernel (pow, where_mask, pad, scatter_add,

@@ -50,6 +50,7 @@ from .trace import TraceError, trace
 
 __all__ = [
     "ExecutionPlan",
+    "PlanCache",
     "CompiledModule",
     "ModuleCache",
     "compile_module",
@@ -104,17 +105,83 @@ class ExecutionPlan:
         return [slots[slot] for slot in self._output_slots]
 
 
+class PlanCache:
+    """A byte-accounted LRU of execution plans.
+
+    Per-thread companion of :class:`CompiledModule` (and of the jet-program
+    runtime in :mod:`repro.engine.jet`): each thread owns one cache, so no
+    locking happens on the hot path.  Every inserted plan is charged its
+    preallocated ``buffer_bytes``; once the total exceeds ``max_bytes`` the
+    least recently used plans are dropped — except the newest entry, which
+    is always kept so a single oversized plan still executes (it just
+    prevents hoarding siblings).  ``on_evict(key, nbytes)`` lets the owner
+    aggregate eviction counters across threads.
+    """
+
+    def __init__(self, max_bytes: int | None = None, on_evict=None):
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[object, tuple]" = OrderedDict()
+        self._on_evict = on_evict
+        self.bytes_in_use = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self._entries.move_to_end(key)
+        return entry[0]
+
+    def put(self, key, plan) -> None:
+        nbytes = int(plan.buffer_bytes)
+        previous = self._entries.pop(key, None)
+        if previous is not None:
+            self.bytes_in_use -= previous[1]
+        self._entries[key] = (plan, nbytes)
+        self.bytes_in_use += nbytes
+        if self.max_bytes is None:
+            return
+        while self.bytes_in_use > self.max_bytes and len(self._entries) > 1:
+            old_key, (old_plan, old_bytes) = self._entries.popitem(last=False)
+            self.bytes_in_use -= old_bytes
+            if self._on_evict is not None:
+                self._on_evict(old_key, old_bytes)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.bytes_in_use = 0
+
+
 @dataclass
 class EngineStats:
-    """Counters of one :class:`CompiledModule` (diagnostics and tests)."""
+    """Counters of one :class:`CompiledModule` (diagnostics and tests).
+
+    ``plan_bytes`` approximates the bytes currently held by per-thread plan
+    caches (plans owned by threads that exited are still counted until the
+    module is retraced); ``plan_evictions``/``plan_bytes_evicted`` count
+    LRU evictions triggered by a ``max_plan_bytes`` budget.
+    """
 
     calls: int = 0
     traces: int = 0
     plan_builds: int = 0
+    plan_evictions: int = 0
+    plan_bytes: int = 0
+    plan_bytes_evicted: int = 0
 
     def as_dict(self) -> dict:
         return {"calls": self.calls, "traces": self.traces,
-                "plan_builds": self.plan_builds}
+                "plan_builds": self.plan_builds,
+                "plan_evictions": self.plan_evictions,
+                "plan_bytes": self.plan_bytes,
+                "plan_bytes_evicted": self.plan_bytes_evicted}
 
 
 class CompiledModule:
@@ -140,6 +207,13 @@ class CompiledModule:
         When ``True``, every fresh trace is immediately checked bitwise
         against an eager forward pass of the same inputs (costs one eager
         call per new shape signature).
+    max_plan_bytes:
+        Memory budget for each thread's execution-plan cache.  Plans own
+        preallocated buffers sized by their input shapes, so serving many
+        distinct shapes would otherwise grow per-thread memory without
+        bound; with a budget the least recently used plans are evicted
+        (:class:`PlanCache`), counted in ``stats.plan_evictions``.  ``None``
+        (default) keeps every plan, matching the previous behaviour.
     """
 
     def __init__(
@@ -148,11 +222,13 @@ class CompiledModule:
         passes=None,
         copy_outputs: bool = True,
         validate: bool = False,
+        max_plan_bytes: int | None = None,
     ):
         self.module = module
         self.passes = passes
         self.copy_outputs = bool(copy_outputs)
         self.validate = bool(validate)
+        self.max_plan_bytes = max_plan_bytes
         self.stats = EngineStats()
         self._graphs: dict[tuple, Graph] = {}
         self._multi_output: dict[tuple, bool] = {}
@@ -217,17 +293,24 @@ class CompiledModule:
                     "repro.autodiff.ops, or value-dependent control flow)"
                 )
 
+    def _record_eviction(self, key, nbytes: int) -> None:
+        with self._lock:
+            self.stats.plan_evictions += 1
+            self.stats.plan_bytes_evicted += nbytes
+            self.stats.plan_bytes -= nbytes
+
     def _plan_for(self, signature: tuple, arrays: list[np.ndarray]) -> ExecutionPlan:
         tls = self._tls
         if getattr(tls, "generation", None) != self._generation:
-            tls.plans = {}
+            tls.plans = PlanCache(self.max_plan_bytes, on_evict=self._record_eviction)
             tls.generation = self._generation
         plan = tls.plans.get(signature)
         if plan is None:
             plan = ExecutionPlan(self._graph_for(signature, arrays))
-            tls.plans[signature] = plan
+            tls.plans.put(signature, plan)
             with self._lock:
                 self.stats.plan_builds += 1
+                self.stats.plan_bytes += plan.buffer_bytes
         return plan
 
     # -- execution ---------------------------------------------------------------
@@ -280,6 +363,7 @@ class CompiledModule:
             self._graphs.clear()
             self._multi_output.clear()
             self._generation += 1
+            self.stats.plan_bytes = 0
 
 
 def compile_module(
@@ -288,6 +372,7 @@ def compile_module(
     passes=None,
     copy_outputs: bool = True,
     validate: bool = False,
+    max_plan_bytes: int | None = None,
 ) -> CompiledModule:
     """Compile ``module`` for inference; optionally pre-trace example inputs.
 
@@ -297,7 +382,8 @@ def compile_module(
     """
 
     compiled = CompiledModule(
-        module, passes=passes, copy_outputs=copy_outputs, validate=validate
+        module, passes=passes, copy_outputs=copy_outputs, validate=validate,
+        max_plan_bytes=max_plan_bytes,
     )
     if example_inputs:
         compiled.graph_for(*example_inputs)
@@ -350,8 +436,35 @@ class ModuleCache:
         with self._lock:
             self._entries.clear()
 
+    def engine_stats(self) -> dict:
+        """Aggregate engine counters over every cached compiled module.
 
-def compile_solver(solver, cache: ModuleCache | None = None, cache_key=None):
+        Used by :meth:`repro.serving.server.Server` stats reporting to
+        surface plan-cache memory use and evictions alongside the serving
+        counters.
+        """
+
+        with self._lock:
+            totals = EngineStats()
+            for module in self._entries.values():
+                stats = module.stats
+                totals.calls += stats.calls
+                totals.traces += stats.traces
+                totals.plan_builds += stats.plan_builds
+                totals.plan_evictions += stats.plan_evictions
+                totals.plan_bytes += stats.plan_bytes
+                totals.plan_bytes_evicted += stats.plan_bytes_evicted
+            report = totals.as_dict()
+            report["modules"] = len(self._entries)
+            report["module_cache_hits"] = self.hits
+            report["module_cache_misses"] = self.misses
+            return report
+
+
+def compile_solver(
+    solver, cache: ModuleCache | None = None, cache_key=None,
+    max_plan_bytes: int | None = None,
+):
     """Enable the inference engine on a neural subdomain solver.
 
     ``SDNetSubdomainSolver`` instances (including subclasses) get a
@@ -372,9 +485,10 @@ def compile_solver(solver, cache: ModuleCache | None = None, cache_key=None):
     model = solver.model
     if cache is not None:
         compiled = cache.get_or_create(
-            (id(model), cache_key), lambda: compile_module(model)
+            (id(model), cache_key),
+            lambda: compile_module(model, max_plan_bytes=max_plan_bytes),
         )
     else:
-        compiled = compile_module(model)
+        compiled = compile_module(model, max_plan_bytes=max_plan_bytes)
     solver.engine = compiled
     return solver

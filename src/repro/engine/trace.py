@@ -40,11 +40,11 @@ import threading
 import numpy as np
 
 from ..autodiff import ops
-from ..autodiff.tensor import DEFAULT_DTYPE, Tensor, astensor, no_grad
+from ..autodiff.tensor import DEFAULT_DTYPE, Tensor, astensor, enable_grad, no_grad
 from ..nn.module import Module
 from .graph import Graph
 
-__all__ = ["TraceError", "trace"]
+__all__ = ["TraceError", "trace", "trace_program"]
 
 
 class TraceError(RuntimeError):
@@ -300,25 +300,62 @@ def trace(module: Module, *example_inputs) -> Graph:
         tuple of tensors), or performs an operation the tracer cannot record.
     """
 
+    return trace_program(module, example_inputs, params=module)
+
+
+def trace_program(fn, example_inputs, params=None, grad: bool = False) -> Graph:
+    """Record one call of an arbitrary callable as a static operator graph.
+
+    This is the general entry point behind :func:`trace`: ``fn`` may be any
+    Python callable over tensors — a module, a closure computing a loss, or
+    a function that *itself runs a reverse-mode sweep*.  Because the VJPs of
+    every primitive in :mod:`repro.autodiff.ops` are expressed in terms of
+    other primitives, running :func:`repro.autodiff.grad` inside ``fn``
+    records the entire backward pass into the same graph, which is how the
+    engine compiles training-time loss-and-gradient programs (see
+    :mod:`repro.engine.jet`).
+
+    Parameters
+    ----------
+    fn:
+        Callable invoked as ``fn(*inputs)``; must return a ``Tensor`` or a
+        tuple of tensors.
+    example_inputs:
+        Sequence of call arguments (arrays or tensors).  The graph is
+        specialized to these input *shapes*.
+    params:
+        A :class:`~repro.nn.module.Module` whose parameters should be
+        labeled in the graph, or a mapping ``name -> Tensor``.  Captured
+        parameter constants alias the parameter storage, so in-place
+        parameter updates flow into the compiled graph.
+    grad:
+        When ``True`` the call runs with gradient recording *enabled* so a
+        reverse sweep inside ``fn`` has a tape to walk; the default replays
+        the inference behaviour of :func:`trace` (``no_grad``).
+    """
+
     inputs = [astensor(x) for x in example_inputs]
     graph = Graph()
     param_names: dict[int, str] = {}
-    if isinstance(module, Module):
-        param_names = {id(param): name for name, param in module.named_parameters()}
+    if isinstance(params, Module):
+        param_names = {id(param): name for name, param in params.named_parameters()}
+    elif params:
+        param_names = {id(astensor(tensor)): name for name, tensor in dict(params).items()}
     tracer = _Tracer(graph, param_names)
     for tensor in inputs:
         node = graph.add_node("placeholder", shape=tensor.shape, dtype=tensor.dtype)
         graph.inputs.append(node.id)
         tracer.register(tensor, node.id)
 
-    with _active(tracer), no_grad():
-        result = module(*inputs)
+    grad_mode = enable_grad if grad else no_grad
+    with _active(tracer), grad_mode():
+        result = fn(*inputs)
 
     outputs = result if isinstance(result, tuple) else (result,)
     for out in outputs:
         if not isinstance(out, Tensor):
             raise TraceError(
-                f"traced module returned {type(out).__name__}; only Tensor "
+                f"traced program returned {type(out).__name__}; only Tensor "
                 "outputs can be compiled"
             )
         graph.outputs.append(tracer.node_for(out))

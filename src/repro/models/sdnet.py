@@ -25,7 +25,7 @@ from typing import Sequence
 import numpy as np
 
 from ..autodiff import ops
-from ..autodiff.taylor import TaylorTriple
+from ..autodiff.taylor import TaylorTriple, sum_direction_blocks, taylor_seed_directions
 from ..autodiff.tensor import Tensor
 from ..nn import MLP, get_activation
 from .base import NeuralSolver, normalize_inputs
@@ -137,33 +137,52 @@ class SDNet(NeuralSolver):
 
     # -- Laplacian ----------------------------------------------------------------
 
-    def laplacian_taylor(self, g, x, create_graph: bool = True) -> Tensor:
+    def laplacian_taylor(self, g, x, create_graph: bool = True, stacked: bool = True) -> Tensor:
         """Laplacian via forward Taylor-mode through the coordinate path.
 
-        For each coordinate direction a second-order Taylor triple is
-        propagated through the split layer and the trunk; the boundary
-        embedding enters as a direction-constant.  The result is the sum of
-        the per-direction second derivatives and remains differentiable with
+        A second-order Taylor triple is propagated through the split layer
+        and the trunk for every coordinate direction; the boundary embedding
+        enters as a direction-constant.  The result is the sum of the
+        per-direction second derivatives and remains differentiable with
         respect to the parameters.  ``create_graph`` is accepted for API
         symmetry; the Taylor path always keeps the parameter graph.
+
+        With ``stacked=True`` (the default) all coordinate directions are
+        seeded at once along the points axis
+        (:func:`~repro.autodiff.taylor.taylor_seed_directions`), so each
+        trunk layer performs one batched matmul over ``coord_dim * q`` point
+        rows instead of ``coord_dim`` sweeps of ``q`` rows.  Every point row
+        is computed by the same floating-point operations either way, so the
+        Laplacian *values* are bitwise identical between the two layouts
+        (parameter gradients agree to accumulation-order rounding).  The
+        stacked layout is what :mod:`repro.engine` traces into its compiled
+        physics-loss programs; ``stacked=False`` keeps the per-direction
+        loop for reference and ablations.
         """
 
         g, x, batched = normalize_inputs(g, x)
         g_embed = self.embed_boundary(g)
-        lap = None
         batch, q, dim = x.shape
-        for direction in range(self.coord_dim):
-            seed = np.zeros((1, 1, dim))
-            seed[..., direction] = 1.0
-            triple = TaylorTriple(
-                x,
-                Tensor(np.broadcast_to(seed, x.shape).copy()),
-                Tensor(np.zeros(x.shape)),
-            )
+        if stacked:
+            triple = taylor_seed_directions(x, self.coord_dim)
             h = self.split.taylor_forward(g_embed, triple)
             out = self.trunk.taylor_forward(h)
-            d2 = ops.reshape(out.d2, (batch, q))
-            lap = d2 if lap is None else lap + d2
+            d2 = ops.reshape(out.d2, (self.coord_dim, batch, q))
+            lap = sum_direction_blocks(d2, self.coord_dim)
+        else:
+            lap = None
+            for direction in range(self.coord_dim):
+                seed = np.zeros((1, 1, dim))
+                seed[..., direction] = 1.0
+                triple = TaylorTriple(
+                    x,
+                    Tensor(np.broadcast_to(seed, x.shape).copy()),
+                    Tensor(np.zeros(x.shape)),
+                )
+                h = self.split.taylor_forward(g_embed, triple)
+                out = self.trunk.taylor_forward(h)
+                d2 = ops.reshape(out.d2, (batch, q))
+                lap = d2 if lap is None else lap + d2
         if not batched:
             lap = ops.reshape(lap, lap.shape[1:])
         return lap

@@ -20,7 +20,14 @@ from ..autodiff import ops
 from ..autodiff.tensor import Tensor, astensor
 from ..models.base import NeuralSolver
 
-__all__ = ["mse_loss", "data_loss", "laplace_residual_loss", "PinnLoss", "PinnLossValues"]
+__all__ = [
+    "mse_loss",
+    "data_loss",
+    "laplace_residual_loss",
+    "LAPLACIAN_METHODS",
+    "PinnLoss",
+    "PinnLossValues",
+]
 
 
 def mse_loss(prediction: Tensor, target) -> Tensor:
@@ -38,19 +45,33 @@ def data_loss(model: NeuralSolver, g, x, u_true) -> Tensor:
     return mse_loss(prediction, u_true)
 
 
+#: Laplacian schemes accepted by :func:`laplace_residual_loss`.
+LAPLACIAN_METHODS = ("taylor", "autograd")
+
+
 def laplace_residual_loss(
     model: NeuralSolver, g, x_collocation, method: str = "taylor"
 ) -> Tensor:
-    """Mean squared Laplace residual at collocation points (eq. 3)."""
+    """Mean squared Laplace residual at collocation points (eq. 3).
 
-    if hasattr(model, "laplacian_taylor") and method == "taylor":
+    ``method`` must be one of :data:`LAPLACIAN_METHODS`; an unrecognized
+    name raises :class:`ValueError` instead of silently falling back to the
+    model's default Laplacian.
+    """
+
+    if method not in LAPLACIAN_METHODS:
+        raise ValueError(
+            f"unknown Laplacian method {method!r}; accepted methods: "
+            f"{', '.join(LAPLACIAN_METHODS)}"
+        )
+    if method == "taylor" and hasattr(model, "laplacian_taylor"):
         residual = model.laplacian(g, x_collocation, create_graph=True, method="taylor")
-    elif method == "autograd":
-        if hasattr(model, "laplacian_autograd"):
-            residual = model.laplacian_autograd(g, x_collocation, create_graph=True)
-        else:
-            residual = model.laplacian(g, x_collocation, create_graph=True)
+    elif method == "autograd" and hasattr(model, "laplacian_autograd"):
+        residual = model.laplacian_autograd(g, x_collocation, create_graph=True)
     else:
+        # Models without the requested specialized scheme (e.g. a plain
+        # NeuralSolver asked for "taylor") fall back to their default
+        # Laplacian implementation.
         residual = model.laplacian(g, x_collocation, create_graph=True)
     return ops.mean(residual * residual)
 
@@ -84,6 +105,21 @@ class PinnLoss:
     use_pde_loss:
         Disabling the PDE term reproduces the purely data-driven ablation of
         Table 3.
+    engine:
+        Run the physics term's forward **and** backward pass through the
+        :mod:`repro.engine` jet compiler: the Taylor-mode Laplacian, the
+        residual reduction and the parameter reverse sweep are traced once
+        into a static program and replayed through preallocated (bucketed)
+        plans via :meth:`pde_term_and_grads` — bitwise identical to the
+        eager tape, so enabling the engine only changes training *speed*.
+        Requires ``laplacian_method="taylor"`` and a model with the
+        Taylor-mode path (SDNet).  ``pde_term``/``__call__`` always stay
+        eager: they return graph-connected tensors for callers that build
+        their own backward pass.
+    engine_options:
+        Extra keyword arguments for
+        :class:`~repro.engine.jet.CompiledValueAndGrad` (e.g.
+        ``max_plan_bytes``, ``bucketing``, ``validate``).
     """
 
     def __init__(
@@ -91,16 +127,75 @@ class PinnLoss:
         pde_weight: float = 1.0,
         laplacian_method: str = "taylor",
         use_pde_loss: bool = True,
+        engine: bool = False,
+        engine_options: dict | None = None,
     ):
         self.pde_weight = float(pde_weight)
         self.laplacian_method = laplacian_method
         self.use_pde_loss = bool(use_pde_loss)
+        self.engine = bool(engine)
+        self.engine_options = dict(engine_options or {})
+        if self.engine and self.laplacian_method != "taylor":
+            raise ValueError(
+                "PinnLoss(engine=True) compiles the Taylor-mode Laplacian; "
+                f"laplacian_method must be 'taylor', got {laplacian_method!r}"
+            )
+        # id(model) -> (model, CompiledValueAndGrad); the model reference
+        # keeps the id stable for the lifetime of the cache entry.
+        self._compiled: dict = {}
 
     def data_term(self, model: NeuralSolver, g, x_data, u_data) -> Tensor:
         return data_loss(model, g, x_data, u_data)
 
     def pde_term(self, model: NeuralSolver, g, x_collocation) -> Tensor:
         return laplace_residual_loss(model, g, x_collocation, method=self.laplacian_method)
+
+    # -- compiled physics term ---------------------------------------------------
+
+    def _program_for(self, model: NeuralSolver):
+        # The weight is baked into the traced program (the eager path
+        # multiplies before the reverse sweep, and bitwise parity requires
+        # replaying that), so a weight change invalidates the cached entry.
+        entry = self._compiled.get(id(model))
+        if entry is not None and entry[0] is model and entry[1] == self.pde_weight:
+            return entry[2]
+        from ..engine.jet import CompiledValueAndGrad
+
+        if not hasattr(model, "laplacian_taylor"):
+            raise ValueError(
+                "PinnLoss(engine=True) requires a model with a Taylor-mode "
+                f"Laplacian (laplacian_taylor); {type(model).__name__} has none"
+            )
+        weight = self.pde_weight
+        program = CompiledValueAndGrad(
+            lambda g, x: laplace_residual_loss(model, g, x, method="taylor"),
+            model,
+            grad_transform=lambda loss: weight * loss,
+            **self.engine_options,
+        )
+        self._compiled[id(model)] = (model, weight, program)
+        return program
+
+    def pde_term_and_grads(self, model: NeuralSolver, g, x_collocation):
+        """The PDE term's value and its weighted parameter gradients.
+
+        Returns ``(value, grads)`` where ``value`` is the *unweighted*
+        residual loss as a float and ``grads`` is a list of numpy arrays —
+        the gradients of ``pde_weight * L_pde`` with respect to
+        ``model.parameters()``, in that order.  With ``engine=True`` the
+        computation runs through the compiled jet program; otherwise through
+        the eager tape.  Both paths compute identical floating-point
+        operations, so the results are bitwise equal.
+        """
+
+        from ..autodiff import grad
+
+        if self.engine:
+            value, grads = self._program_for(model)(g, x_collocation)
+            return float(value), list(grads)
+        pde_term = self.pde_term(model, g, x_collocation)
+        grads = grad(self.pde_weight * pde_term, model.parameters())
+        return pde_term.item(), [t.data for t in grads]
 
     def __call__(
         self,

@@ -81,6 +81,12 @@ class Server:
         results are bitwise identical with the engine on or off.
     engine_cache_size:
         Capacity of the per-geometry compiled-module LRU.
+    engine_max_plan_bytes:
+        Per-thread execution-plan memory budget handed to every compiled
+        module (:class:`~repro.engine.runtime.PlanCache`): once a worker
+        thread's preallocated plan buffers exceed the budget, its least
+        recently used plans are evicted.  Eviction counters and current
+        plan bytes are surfaced by ``Server.stats()`` under ``"engine"``.
     """
 
     def __init__(
@@ -94,6 +100,7 @@ class Server:
         clock=time.monotonic,
         engine: bool = False,
         engine_cache_size: int = 8,
+        engine_max_plan_bytes: int | None = None,
     ):
         self.solver_factory = solver_factory
         self.policy = policy or BatchPolicy()
@@ -103,12 +110,15 @@ class Server:
         self.world_size = int(world_size)
         self.clock = clock
         self.engine = bool(engine)
+        self.engine_max_plan_bytes = engine_max_plan_bytes
         self.engine_modules = None
+        engine_stats_provider = None
         if self.engine:
             from ..engine import ModuleCache
 
             self.engine_modules = ModuleCache(engine_cache_size)
-        self.stats = ServingStats()
+            engine_stats_provider = self.engine_modules.engine_stats
+        self.stats = ServingStats(engine_stats_provider=engine_stats_provider)
         self._batchers: dict[tuple, DynamicBatcher] = {}
         self._pools: dict[tuple, WorkerPool] = {}
         self._submit_times: dict[str, float] = {}
@@ -223,10 +233,15 @@ class Server:
         base = self.solver_factory
         modules = self.engine_modules
 
+        max_plan_bytes = self.engine_max_plan_bytes
+
         def factory(geom):
             from ..engine import compile_solver
 
-            return compile_solver(base(geom), cache=modules, cache_key=geometry)
+            return compile_solver(
+                base(geom), cache=modules, cache_key=geometry,
+                max_plan_bytes=max_plan_bytes,
+            )
 
         return factory
 

@@ -18,9 +18,14 @@ __all__ = ["ServingStats"]
 
 
 class ServingStats:
-    """Mutable counters of one server instance, with a formatted report."""
+    """Mutable counters of one server instance, with a formatted report.
 
-    def __init__(self):
+    The instance is also *callable*: ``server.stats()`` returns the snapshot
+    dict of :meth:`as_dict` — including the inference-engine plan-cache
+    section when the server runs with ``engine=True``.
+    """
+
+    def __init__(self, engine_stats_provider=None):
         self.requests = 0
         self.cache_hits = 0
         self.dedup_hits = 0
@@ -28,6 +33,12 @@ class ServingStats:
         self.solved_requests = 0
         self.batch_sizes: list[int] = []
         self.latencies: list[float] = []
+        #: zero-argument callable returning the engine's counter dict
+        #: (traces, plan builds, plan bytes, plan evictions), or ``None``
+        self.engine_stats_provider = engine_stats_provider
+
+    def __call__(self) -> dict:
+        return self.as_dict()
 
     # -- recording ----------------------------------------------------------------
 
@@ -84,7 +95,7 @@ class ServingStats:
         return float(np.percentile(self.latencies, percentile))
 
     def as_dict(self) -> dict:
-        return {
+        report = {
             "requests": self.requests,
             "cache_hits": self.cache_hits,
             "dedup_hits": self.dedup_hits,
@@ -97,6 +108,9 @@ class ServingStats:
             "latency_p50": self.latency_percentile(50),
             "latency_p99": self.latency_percentile(99),
         }
+        if self.engine_stats_provider is not None:
+            report["engine"] = self.engine_stats_provider()
+        return report
 
     def report(self) -> str:
         """Human-readable multi-line summary."""
@@ -113,4 +127,12 @@ class ServingStats:
             f"{d['latency_mean']*1e3:.2f} / {d['latency_p50']*1e3:.2f} / "
             f"{d['latency_p99']*1e3:.2f} ms",
         ]
+        engine = d.get("engine")
+        if engine is not None:
+            lines.append(
+                f"engine plans      : {engine['plan_builds']} built, "
+                f"{engine['plan_evictions']} evicted, "
+                f"{engine['plan_bytes'] / 1e6:.2f} MB in use "
+                f"({engine['traces']} traces, {engine['modules']} modules)"
+            )
         return "\n".join(lines)

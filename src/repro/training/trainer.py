@@ -40,6 +40,9 @@ class TrainingConfig:
     pde_weight: float = 1.0
     use_pde_loss: bool = True
     laplacian_method: str = "taylor"
+    #: run the physics-loss forward+backward through the repro.engine jet
+    #: compiler (bitwise-identical gradients, compiled speed)
+    engine: bool = False
     seed: int = 0
 
 
@@ -111,6 +114,7 @@ class Trainer:
             pde_weight=config.pde_weight,
             laplacian_method=config.laplacian_method,
             use_pde_loss=config.use_pde_loss,
+            engine=config.engine,
         )
         self.optimizer = build_optimizer(model, config, config.max_lr)
         iterations = max(len(self._iterator(rank=0, world_size=1)) * config.epochs, 1)
@@ -155,14 +159,17 @@ class Trainer:
         grads = [gd.data.copy() for gd in grads_data]
 
         # Step 2: collocation points, accumulated onto the data gradients.
+        # The weighted-gradient computation goes through PinnLoss so the
+        # engine-compiled jet program (config.engine) and the eager tape are
+        # interchangeable — they produce bitwise-identical gradients.
         pde_value = 0.0
         if self.config.use_pde_loss:
             x_coll = Tensor(batch.x_collocation)
-            pde_term = self.loss_fn.pde_term(self.model, g, x_coll)
-            grads_pde = grad(self.config.pde_weight * pde_term, params)
+            pde_value, grads_pde = self.loss_fn.pde_term_and_grads(
+                self.model, g, x_coll
+            )
             for acc, gp in zip(grads, grads_pde):
-                acc += gp.data
-            pde_value = pde_term.item()
+                acc += gp
 
         losses = {
             "data": data_term.item(),

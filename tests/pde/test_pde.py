@@ -119,6 +119,16 @@ class TestLosses:
         autograd = laplace_residual_loss(small_sdnet, g, x, method="autograd").item()
         assert taylor == pytest.approx(autograd, rel=1e-10)
 
+    def test_residual_loss_rejects_unknown_method(self, small_sdnet, rng):
+        """Typos must raise, not silently fall back to the default Laplacian."""
+
+        g = Tensor(rng.normal(size=(1, small_sdnet.boundary_size)))
+        x = Tensor(rng.uniform(size=(1, 5, 2)) * 0.5)
+        with pytest.raises(ValueError, match="taylor.*autograd"):
+            laplace_residual_loss(small_sdnet, g, x, method="taylo")
+        with pytest.raises(ValueError, match="accepted methods"):
+            laplace_residual_loss(small_sdnet, g, x, method="forward")
+
     def test_pinn_loss_composition(self, small_sdnet, rng):
         g = Tensor(rng.normal(size=(2, small_sdnet.boundary_size)))
         x = Tensor(rng.uniform(size=(2, 4, 2)))
