@@ -26,7 +26,11 @@ The package implements, from scratch and on top of numpy only:
 * ``repro.engine`` — the trace-and-fuse inference compiler: records one
   forward pass of a model into a static operator graph, optimizes it
   (constant folding, elementwise fusion, dead-code elimination) and runs it
-  through preallocated numpy kernels with bitwise parity to eager mode.
+  through preallocated numpy kernels with bitwise parity to eager mode,
+* ``repro.obs`` — unified observability: hierarchical span tracing with a
+  Chrome-trace exporter, a thread-safe metrics registry (counters, gauges,
+  bounded histograms) with JSON/Prometheus export, and opt-in per-kernel
+  profiling of compiled engine plans.
 """
 
 __version__ = "0.1.0"
@@ -58,9 +62,19 @@ _ENGINE_EXPORTS = (
     "compile_value_and_grad",
 )
 
+#: observability names re-exported at the package top level
+_OBS_EXPORTS = (
+    "span",
+    "enable_tracing",
+    "disable_tracing",
+    "get_tracer",
+    "MetricsRegistry",
+    "KernelProfiler",
+)
+
 __all__ = [
-    "__version__", "serving", "domains", "engine",
-    *_SERVING_EXPORTS, *_DOMAINS_EXPORTS, *_ENGINE_EXPORTS,
+    "__version__", "serving", "domains", "engine", "obs",
+    *_SERVING_EXPORTS, *_DOMAINS_EXPORTS, *_ENGINE_EXPORTS, *_OBS_EXPORTS,
 ]
 
 
@@ -83,4 +97,7 @@ def __getattr__(name: str):
     if name == "engine" or name in _ENGINE_EXPORTS:
         engine = importlib.import_module(__name__ + ".engine")
         return engine if name == "engine" else getattr(engine, name)
+    if name == "obs" or name in _OBS_EXPORTS:
+        obs = importlib.import_module(__name__ + ".obs")
+        return obs if name == "obs" else getattr(obs, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

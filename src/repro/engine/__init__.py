@@ -41,7 +41,7 @@ equal to the eager tape.  :class:`~repro.pde.losses.PinnLoss` and
 from .bucketing import BucketedPlan, BucketingError, bucket_capacity, build_template
 from .graph import Graph, GraphError, Node
 from .jet import CompiledValueAndGrad, JetStats, compile_value_and_grad
-from .kernels import KernelError, build_step, evaluate_node
+from .kernels import KernelError, build_step, evaluate_node, step_bytes
 from .passes import (
     DEFAULT_PASSES,
     FUSION_RULES,
@@ -79,6 +79,7 @@ __all__ = [
     "KernelError",
     "build_step",
     "evaluate_node",
+    "step_bytes",
     "DEFAULT_PASSES",
     "FUSION_RULES",
     "TRAINING_PASSES",

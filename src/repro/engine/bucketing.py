@@ -35,13 +35,14 @@ bitwise equal to eager mode.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..autodiff.tensor import DEFAULT_DTYPE
 from .graph import Graph, Node
-from .kernels import build_step
+from .kernels import build_step, step_bytes
 
 __all__ = ["BucketingError", "ProgramTemplate", "BucketedPlan", "build_template", "bucket_capacity"]
 
@@ -493,20 +494,39 @@ def build_template(
 
 
 class _Specialization:
-    """One batch size of a bucketed plan: step closures over shared buffers."""
+    """One batch size of a bucketed plan: step closures over shared buffers.
 
-    def __init__(self, slots: list, steps: list, input_slots: list, output_slots: list):
+    ``profiler`` (a :class:`~repro.obs.profile.KernelProfiler`) opts the
+    specialization into per-kernel timing, mirroring
+    :meth:`~repro.engine.runtime.ExecutionPlan.run`: identical kernels on
+    identical views either way, so outputs stay bitwise equal.
+    """
+
+    def __init__(self, slots: list, steps: list, input_slots: list,
+                 output_slots: list, step_info: list | None = None,
+                 profiler=None):
         self._slots = slots
         self._steps = steps
         self._input_slots = input_slots
         self._output_slots = output_slots
+        self._step_info = step_info if step_info is not None else []
+        self._profiler = profiler
 
     def run(self, arrays: "list[np.ndarray]") -> "list[np.ndarray]":
         slots = self._slots
         for slot, array in zip(self._input_slots, arrays):
             slots[slot] = array
-        for step in self._steps:
-            step(slots)
+        profiler = self._profiler
+        if profiler is None:
+            for step in self._steps:
+                step(slots)
+        else:
+            clock = time.perf_counter
+            record = profiler.record
+            for step, (op, nbytes) in zip(self._steps, self._step_info):
+                tic = clock()
+                step(slots)
+                record(op, clock() - tic, nbytes)
         return [slots[slot] for slot in self._output_slots]
 
 
@@ -520,8 +540,9 @@ class BucketedPlan:
     thread.
     """
 
-    def __init__(self, template: ProgramTemplate):
+    def __init__(self, template: ProgramTemplate, profiler=None):
         self.template = template
+        self._profiler = profiler
         # node id -> buffers allocated for that node at capacity, in the
         # order the node's kernel requested them (main output + scratch).
         self._node_buffers: dict[int, list[np.ndarray]] = {}
@@ -552,6 +573,7 @@ class BucketedPlan:
         slot_of = {node_id: pos for pos, node_id in enumerate(template.order)}
         slots: list = [None] * len(template.order)
         steps = []
+        step_info: list = []
         for node_id in template.order:
             tmpl = template.nodes[node_id]
             position = slot_of[node_id]
@@ -590,10 +612,14 @@ class BucketedPlan:
 
             src = [slot_of[i] for i in tmpl.inputs]
             steps.append(build_step(node, src, position, alloc))
+            step_info.append((node.op, step_bytes(node)))
+        if self._profiler is not None:
+            self._profiler.count("bucket_specialization")
         return _Specialization(
             slots, steps,
             [slot_of[i] for i in template.inputs],
             [slot_of[i] for i in template.outputs],
+            step_info=step_info, profiler=self._profiler,
         )
 
     def run(self, arrays: "list[np.ndarray]", b: int) -> "list[np.ndarray]":

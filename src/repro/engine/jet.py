@@ -118,6 +118,12 @@ class CompiledValueAndGrad:
     validate:
         Check each newly built plan bitwise against an eager evaluation the
         first time every (plan, batch-size) pair runs.
+    profile:
+        Opt into per-kernel profiling: every executed plan step is timed and
+        attributed to its op in :attr:`profiler`
+        (:class:`~repro.obs.profile.KernelProfiler`), together with
+        plan-build/specialization/eviction events.  Results stay bitwise
+        identical; see :meth:`kernel_report`.
 
     Calling the object returns ``(loss, grads)`` with ``loss`` a 0-d numpy
     array and ``grads`` a list of arrays aligned with
@@ -134,6 +140,7 @@ class CompiledValueAndGrad:
         max_plan_bytes: int | None = None,
         validate: bool = False,
         copy_outputs: bool = True,
+        profile: bool = False,
     ):
         self.fn = fn
         self.module = module
@@ -143,6 +150,11 @@ class CompiledValueAndGrad:
         self.max_plan_bytes = max_plan_bytes
         self.validate = bool(validate)
         self.copy_outputs = bool(copy_outputs)
+        self.profiler = None
+        if profile:
+            from ..obs.profile import KernelProfiler
+
+            self.profiler = KernelProfiler()
         self.params = module.parameters()
         self.stats = JetStats()
         self._templates: dict = {}
@@ -190,6 +202,8 @@ class CompiledValueAndGrad:
             self.stats.plan_evictions += 1
             self.stats.plan_bytes_evicted += nbytes
             self.stats.plan_bytes -= nbytes
+        if self.profiler is not None:
+            self.profiler.count("plan_eviction")
 
     def _plans(self) -> PlanCache:
         tls = self._tls
@@ -299,11 +313,13 @@ class CompiledValueAndGrad:
                 if template_batch is not None:
                     plan = plans.get(key)
                     if plan is None:
-                        plan = BucketedPlan(template)
+                        plan = BucketedPlan(template, profiler=self.profiler)
                         plans.put(key, plan)
                         with self._lock:
                             self.stats.plan_builds += 1
                             self.stats.plan_bytes += plan.buffer_bytes
+                        if self.profiler is not None:
+                            self.profiler.count("plan_build")
                     new_spec = not plan.has_specialization(template_batch)
                     before_bytes = plan.buffer_bytes if new_spec else 0
                     outputs = plan.run(arrays, template_batch)
@@ -319,16 +335,30 @@ class CompiledValueAndGrad:
         key = ("exact", signature)
         plan = plans.get(key)
         if plan is None:
-            plan = ExecutionPlan(self._graph_for(signature, arrays))
+            plan = ExecutionPlan(
+                self._graph_for(signature, arrays), profiler=self.profiler
+            )
             plans.put(key, plan)
             with self._lock:
                 self.stats.plan_builds += 1
                 self.stats.plan_bytes += plan.buffer_bytes
+            if self.profiler is not None:
+                self.profiler.count("plan_build")
         outputs = plan.run(arrays)
         self._check(key, arrays, outputs)
         return outputs
 
     # -- management --------------------------------------------------------------
+
+    def kernel_report(self, n: int = 10) -> str:
+        """Top-kernels table of the attached profiler (requires ``profile=True``)."""
+
+        if self.profiler is None:
+            raise RuntimeError(
+                "per-kernel profiling is off; build with "
+                "compile_value_and_grad(..., profile=True)"
+            )
+        return self.profiler.report(n)
 
     def retrace(self) -> None:
         """Drop every template, graph and plan (after parameter replacement)."""

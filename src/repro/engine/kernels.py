@@ -28,13 +28,24 @@ from typing import Callable
 import numpy as np
 from scipy import special as _special
 
+from ..autodiff.tensor import DEFAULT_DTYPE
 from .graph import Node
 
-__all__ = ["evaluate_node", "build_step", "KernelError"]
+__all__ = ["evaluate_node", "build_step", "step_bytes", "KernelError"]
 
 
 class KernelError(RuntimeError):
     """Raised when a graph node has no kernel (unknown op)."""
+
+
+def step_bytes(node: Node) -> int:
+    """Output bytes of one graph node (for per-kernel byte accounting)."""
+
+    size = 1
+    for dim in node.shape:
+        size *= int(dim)
+    itemsize = np.dtype(node.dtype if node.dtype is not None else DEFAULT_DTYPE).itemsize
+    return size * itemsize
 
 
 # ---------------------------------------------------------------------------

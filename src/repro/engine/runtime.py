@@ -36,6 +36,7 @@ refresh; checkpoint loading via :mod:`repro.io.checkpoint` does this.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -44,7 +45,7 @@ import numpy as np
 from ..autodiff.tensor import DEFAULT_DTYPE, Tensor
 from ..nn.module import Module
 from .graph import Graph
-from .kernels import build_step
+from .kernels import build_step, step_bytes
 from .passes import optimize
 from .trace import TraceError, trace
 
@@ -63,15 +64,23 @@ class ExecutionPlan:
 
     Not thread-safe: the plan's kernels write into buffers owned by the
     plan.  :class:`CompiledModule` builds one plan per thread.
+
+    ``profiler`` (a :class:`~repro.obs.profile.KernelProfiler`) opts the plan
+    into per-kernel timing: every step is clocked and attributed to its op.
+    Profiled runs execute the identical kernels on the identical buffers, so
+    outputs stay bitwise equal; without a profiler, ``run`` is the exact
+    unclocked loop.
     """
 
-    def __init__(self, graph: Graph):
+    def __init__(self, graph: Graph, profiler=None):
         slot_of: dict[int, int] = {}
         for position, node in enumerate(graph):
             slot_of[node.id] = position
         self._slots: list = [None] * len(slot_of)
         self._buffers: list[np.ndarray] = []
         self._steps = []
+        self._step_info: list[tuple[str, int]] = []
+        self._profiler = profiler
         for node in graph:
             if node.is_placeholder:
                 continue
@@ -80,6 +89,7 @@ class ExecutionPlan:
                 continue
             src = [slot_of[i] for i in node.inputs]
             self._steps.append(build_step(node, src, slot_of[node.id], self._alloc))
+            self._step_info.append((node.op, step_bytes(node)))
         self._input_slots = [slot_of[i] for i in graph.inputs]
         self._output_slots = [slot_of[i] for i in graph.outputs]
 
@@ -100,8 +110,17 @@ class ExecutionPlan:
         slots = self._slots
         for slot, array in zip(self._input_slots, arrays):
             slots[slot] = array
-        for step in self._steps:
-            step(slots)
+        profiler = self._profiler
+        if profiler is None:
+            for step in self._steps:
+                step(slots)
+        else:
+            clock = time.perf_counter
+            record = profiler.record
+            for step, (op, nbytes) in zip(self._steps, self._step_info):
+                tic = clock()
+                step(slots)
+                record(op, clock() - tic, nbytes)
         return [slots[slot] for slot in self._output_slots]
 
 
@@ -214,6 +233,12 @@ class CompiledModule:
         bound; with a budget the least recently used plans are evicted
         (:class:`PlanCache`), counted in ``stats.plan_evictions``.  ``None``
         (default) keeps every plan, matching the previous behaviour.
+    profile:
+        Opt into per-kernel profiling: every executed plan step is timed and
+        attributed to its op in :attr:`profiler`
+        (:class:`~repro.obs.profile.KernelProfiler`), along with plan-cache
+        events.  Results stay bitwise identical; see
+        :meth:`kernel_report`.
     """
 
     def __init__(
@@ -223,12 +248,18 @@ class CompiledModule:
         copy_outputs: bool = True,
         validate: bool = False,
         max_plan_bytes: int | None = None,
+        profile: bool = False,
     ):
         self.module = module
         self.passes = passes
         self.copy_outputs = bool(copy_outputs)
         self.validate = bool(validate)
         self.max_plan_bytes = max_plan_bytes
+        self.profiler = None
+        if profile:
+            from ..obs.profile import KernelProfiler
+
+            self.profiler = KernelProfiler()
         self.stats = EngineStats()
         self._graphs: dict[tuple, Graph] = {}
         self._multi_output: dict[tuple, bool] = {}
@@ -298,6 +329,8 @@ class CompiledModule:
             self.stats.plan_evictions += 1
             self.stats.plan_bytes_evicted += nbytes
             self.stats.plan_bytes -= nbytes
+        if self.profiler is not None:
+            self.profiler.count("plan_eviction")
 
     def _plan_for(self, signature: tuple, arrays: list[np.ndarray]) -> ExecutionPlan:
         tls = self._tls
@@ -306,11 +339,15 @@ class CompiledModule:
             tls.generation = self._generation
         plan = tls.plans.get(signature)
         if plan is None:
-            plan = ExecutionPlan(self._graph_for(signature, arrays))
+            plan = ExecutionPlan(
+                self._graph_for(signature, arrays), profiler=self.profiler
+            )
             tls.plans.put(signature, plan)
             with self._lock:
                 self.stats.plan_builds += 1
                 self.stats.plan_bytes += plan.buffer_bytes
+            if self.profiler is not None:
+                self.profiler.count("plan_build")
         return plan
 
     # -- execution ---------------------------------------------------------------
@@ -365,6 +402,16 @@ class CompiledModule:
             self._generation += 1
             self.stats.plan_bytes = 0
 
+    def kernel_report(self, n: int = 10) -> str:
+        """Top-kernels table of the attached profiler (requires ``profile=True``)."""
+
+        if self.profiler is None:
+            raise RuntimeError(
+                "per-kernel profiling is off; build with compile_module(..., "
+                "profile=True)"
+            )
+        return self.profiler.report(n)
+
 
 def compile_module(
     module: Module,
@@ -373,6 +420,7 @@ def compile_module(
     copy_outputs: bool = True,
     validate: bool = False,
     max_plan_bytes: int | None = None,
+    profile: bool = False,
 ) -> CompiledModule:
     """Compile ``module`` for inference; optionally pre-trace example inputs.
 
@@ -383,7 +431,7 @@ def compile_module(
 
     compiled = CompiledModule(
         module, passes=passes, copy_outputs=copy_outputs, validate=validate,
-        max_plan_bytes=max_plan_bytes,
+        max_plan_bytes=max_plan_bytes, profile=profile,
     )
     if example_inputs:
         compiled.graph_for(*example_inputs)
@@ -460,10 +508,32 @@ class ModuleCache:
             report["module_cache_misses"] = self.misses
             return report
 
+    def kernel_profile(self):
+        """Merged :class:`~repro.obs.profile.KernelProfiler` over cached modules.
+
+        Returns ``None`` when no cached module was compiled with
+        ``profile=True``.
+        """
+
+        from ..obs.profile import KernelProfiler
+
+        with self._lock:
+            profilers = [
+                module.profiler
+                for module in self._entries.values()
+                if module.profiler is not None
+            ]
+        if not profilers:
+            return None
+        merged = KernelProfiler()
+        for profiler in profilers:
+            merged.merge(profiler)
+        return merged
+
 
 def compile_solver(
     solver, cache: ModuleCache | None = None, cache_key=None,
-    max_plan_bytes: int | None = None,
+    max_plan_bytes: int | None = None, profile: bool = False,
 ):
     """Enable the inference engine on a neural subdomain solver.
 
@@ -486,9 +556,11 @@ def compile_solver(
     if cache is not None:
         compiled = cache.get_or_create(
             (id(model), cache_key),
-            lambda: compile_module(model, max_plan_bytes=max_plan_bytes),
+            lambda: compile_module(
+                model, max_plan_bytes=max_plan_bytes, profile=profile
+            ),
         )
     else:
-        compiled = compile_module(model, max_plan_bytes=max_plan_bytes)
+        compiled = compile_module(model, max_plan_bytes=max_plan_bytes, profile=profile)
     solver.engine = compiled
     return solver

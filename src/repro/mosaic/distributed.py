@@ -34,6 +34,8 @@ import numpy as np
 from ..distributed.cartesian import BlockPartition, ProcessGrid
 from ..distributed.comm import Communicator, ReduceOp
 from ..distributed.simulated import run_spmd
+from ..obs.trace import span
+from ..utils.timer import Timings
 from .assembly import accumulate_dense_predictions, overlap_average
 from .geometry import PHASE_OFFSETS, MosaicGeometry
 from .predictor import initialize_lattice_field
@@ -358,10 +360,34 @@ class DistributedMosaicFlowPredictor:
         target_mae: float | None = None,
         check_interval: int = 1,
     ) -> DistributedMFPResult:
-        """SPMD body executed by every rank (usable directly under real MPI)."""
+        """SPMD body executed by every rank (usable directly under real MPI).
 
+        Each rank runs on its own thread, so the ``mfp.rank`` span roots that
+        thread's trace; the per-phase sections (boundaries IO, inference,
+        sendrecv, convergence check, allgather, assembly) are accumulated in
+        a thread-safe :class:`~repro.utils.timer.Timings` and returned as the
+        result's ``timings`` dict.
+        """
+
+        with span("mfp.rank", rank=comm.rank, world=comm.size):
+            return self._run_rank_impl(
+                comm, boundary_loop, max_iterations=max_iterations, tol=tol,
+                reference=reference, target_mae=target_mae,
+                check_interval=check_interval,
+            )
+
+    def _run_rank_impl(
+        self,
+        comm: Communicator,
+        boundary_loop: np.ndarray,
+        max_iterations: int = 200,
+        tol: float = 1e-4,
+        reference: np.ndarray | None = None,
+        target_mae: float | None = None,
+        check_interval: int = 1,
+    ) -> DistributedMFPResult:
         geometry = self.geometry
-        timings: dict[str, float] = {}
+        timings = Timings()
         tic = time.perf_counter()
 
         grid = ProcessGrid(comm.size, ordering=self.ordering)
@@ -506,36 +532,33 @@ class DistributedMosaicFlowPredictor:
                     break
 
         # (4) dense assembly of the local anchors
-        tic = time.perf_counter()
-        accumulator, counts = accumulate_dense_predictions(
-            local, geometry, solver, local_anchors
-        )
-        timings["inference"] = timings.get("inference", 0.0) + time.perf_counter() - tic
+        with timings.measure("inference"):
+            accumulator, counts = accumulate_dense_predictions(
+                local, geometry, solver, local_anchors
+            )
 
         # (5) allgather and overlap averaging
-        tic = time.perf_counter()
-        payload = (
-            layout.row_offset,
-            layout.col_offset,
-            accumulator,
-            counts,
-        )
-        gathered = comm.allgather(payload)
-        timings["allgather"] = timings.get("allgather", 0.0) + time.perf_counter() - tic
+        with timings.measure("allgather"):
+            payload = (
+                layout.row_offset,
+                layout.col_offset,
+                accumulator,
+                counts,
+            )
+            gathered = comm.allgather(payload)
 
         solution = None
         if comm.rank == 0:
-            tic = time.perf_counter()
-            global_sum = np.zeros((geometry.global_ny, geometry.global_nx))
-            global_count = np.zeros_like(global_sum)
-            for row_off, col_off, acc, cnt in gathered:
-                r = slice(row_off, row_off + acc.shape[0])
-                c = slice(col_off, col_off + acc.shape[1])
-                global_sum[r, c] += acc
-                global_count[r, c] += cnt
-            solution = overlap_average(global_sum, global_count)
-            solution = geometry.global_grid().insert_boundary(boundary_loop, solution)
-            timings["assembly"] = time.perf_counter() - tic
+            with timings.measure("assembly"):
+                global_sum = np.zeros((geometry.global_ny, geometry.global_nx))
+                global_count = np.zeros_like(global_sum)
+                for row_off, col_off, acc, cnt in gathered:
+                    r = slice(row_off, row_off + acc.shape[0])
+                    c = slice(col_off, col_off + acc.shape[1])
+                    global_sum[r, c] += acc
+                    global_count[r, c] += cnt
+                solution = overlap_average(global_sum, global_count)
+                solution = geometry.global_grid().insert_boundary(boundary_loop, solution)
 
         return DistributedMFPResult(
             rank=comm.rank,
@@ -545,7 +568,7 @@ class DistributedMosaicFlowPredictor:
             converged=converged,
             deltas=deltas,
             mae_history=mae_history,
-            timings=timings,
+            timings=timings.as_dict(),
             comm_stats=comm.trace.as_dict(),
             halo_bytes_per_iteration=plan.bytes_per_iteration(),
         )

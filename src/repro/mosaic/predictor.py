@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..utils.timer import Timings
 from .assembly import assemble_solution
 from .geometry import PHASE_OFFSETS, MosaicGeometry
 from .solvers import SubdomainSolver
@@ -168,8 +169,13 @@ class MosaicFlowPredictor:
         anchor_array = np.asarray(anchors, dtype=int)
         return anchor_array[:, 0] * self.geometry.half, anchor_array[:, 1] * self.geometry.half
 
-    def step(self, field_array: np.ndarray, phase: int, timings: dict) -> np.ndarray:
-        """Run one iteration (one phase) in place and return the field."""
+    def step(self, field_array: np.ndarray, phase: int, timings) -> np.ndarray:
+        """Run one iteration (one phase) in place and return the field.
+
+        ``timings`` is a mutable mapping of section name to accumulated
+        seconds — a plain dict or a thread-safe
+        :class:`~repro.utils.timer.Timings` (what :meth:`run` passes).
+        """
 
         r0, c0 = self._phase_anchor_windows(phase)
         if r0.size == 0:
@@ -244,7 +250,7 @@ class MosaicFlowPredictor:
         lattice_mask = geometry.lattice_mask()
         previous = field_array[lattice_mask].copy()
 
-        timings: dict[str, float] = {}
+        timings = Timings()
         deltas: list[float] = []
         mae_history: list[tuple[int, float]] = []
         converged = False
@@ -284,14 +290,13 @@ class MosaicFlowPredictor:
                 if converged:
                     break
 
-        tic = time.perf_counter()
-        if assemble:
-            solution = assemble_solution(
-                field_array, geometry, self.solver, boundary_loop=boundary_loop
-            )
-        else:
-            solution = field_array.copy()
-        timings["assembly"] = timings.get("assembly", 0.0) + time.perf_counter() - tic
+        with timings.measure("assembly"):
+            if assemble:
+                solution = assemble_solution(
+                    field_array, geometry, self.solver, boundary_loop=boundary_loop
+                )
+            else:
+                solution = field_array.copy()
 
         return MFPResult(
             solution=solution,
@@ -300,5 +305,5 @@ class MosaicFlowPredictor:
             converged=converged,
             deltas=deltas,
             mae_history=mae_history,
-            timings=timings,
+            timings=timings.as_dict(),
         )

@@ -1,0 +1,57 @@
+"""repro.obs — unified tracing, metrics and per-kernel profiling.
+
+One observability layer across the whole system, replacing three
+disconnected ad-hoc instruments (``serving.stats`` latency lists,
+``engine`` counter dataclasses, predictor timing dicts):
+
+* :mod:`.trace` — a thread-safe hierarchical span tracer with context-manager
+  spans, near-zero overhead when disabled, a Chrome trace-event exporter and
+  a terminal span-tree rendering.  Wired through the serving request
+  lifecycle, the training step and the distributed predictor's per-rank
+  phases.
+* :mod:`.metrics` — counters, gauges and bounded-memory histograms (ring
+  window, exact ``np.percentile`` quantiles) behind a single
+  snapshot/merge registry.
+* :mod:`.export` — JSON and Prometheus text exposition of snapshots.
+* :mod:`.profile` — per-kernel profiling of compiled execution plans: per-op
+  wall time, call counts and buffer bytes plus plan-cache events, surfaced
+  as a "top kernels" report (opt-in; bitwise-identical results).
+
+Quick start::
+
+    from repro import obs
+
+    tracer = obs.enable_tracing()
+    ...  # serve requests / run train steps
+    print(tracer.span_tree())
+    tracer.write_chrome_trace("trace.json")
+    obs.disable_tracing()
+"""
+
+from .export import to_json, to_prometheus
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import KernelProfiler
+from .trace import (
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "KernelProfiler",
+    "Span",
+    "Tracer",
+    "span",
+    "enable_tracing",
+    "disable_tracing",
+    "get_tracer",
+    "to_json",
+    "to_prometheus",
+]

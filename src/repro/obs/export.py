@@ -1,0 +1,74 @@
+"""Exporters for metric snapshots: JSON and Prometheus text exposition.
+
+The snapshot dicts produced by
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` are already plain data;
+this module renders them for the two consumers a service actually has:
+
+* :func:`to_json` — machine-readable dump (CI artifacts, dashboards),
+* :func:`to_prometheus` — the Prometheus text exposition format (version
+  0.0.4): counters as ``_total`` samples, gauges as plain samples,
+  histograms as summaries with ``quantile`` labels plus ``_sum``/``_count``.
+
+Metric names are sanitized to the Prometheus grammar (dots and dashes become
+underscores).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+__all__ = ["to_json", "to_prometheus"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    sanitized = _NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _format_value(value) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def to_json(snapshot: dict, indent: int | None = 2) -> str:
+    """Serialize a registry snapshot as JSON."""
+
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """Render a registry snapshot in the Prometheus text exposition format."""
+
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        kind = entry.get("type")
+        prom = _prom_name(name)
+        if kind == "counter":
+            lines.append(f"# TYPE {prom}_total counter")
+            lines.append(f"{prom}_total {_format_value(entry['value'])}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {_format_value(entry['value'])}")
+        elif kind == "histogram":
+            # Exposed as a summary: exact window quantiles + stream totals.
+            lines.append(f"# TYPE {prom} summary")
+            for q in (50, 90, 99):
+                key = f"p{q}"
+                if key in entry:
+                    lines.append(
+                        f'{prom}{{quantile="{q / 100}"}} {_format_value(entry[key])}'
+                    )
+            lines.append(f"{prom}_sum {_format_value(entry['sum'])}")
+            lines.append(f"{prom}_count {entry['count']}")
+        else:
+            raise ValueError(f"snapshot entry {name!r} has unknown type {kind!r}")
+    return "\n".join(lines) + "\n"

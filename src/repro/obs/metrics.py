@@ -1,0 +1,293 @@
+"""Metrics registry: counters, gauges and bounded-memory histograms.
+
+One :class:`MetricsRegistry` absorbs the ad-hoc counters that used to live in
+separate subsystems (``serving.stats.ServingStats`` lists, the engine's
+``EngineStats``/``JetStats`` dataclasses, predictor timing dicts) behind a
+single snapshot/merge API:
+
+* :class:`Counter` — monotonically increasing count (requests, cache hits),
+* :class:`Gauge`   — last-written value (plan bytes in use, queue depth),
+* :class:`Histogram` — a *bounded* distribution: a ring window of the most
+  recent observations for exact ``np.percentile`` quantiles, plus exact
+  running count/sum/min/max over *all* observations.  Memory is
+  ``O(window)`` regardless of uptime — this is what fixes the unbounded
+  ``ServingStats.latencies`` list of a long-lived server.
+
+All metric updates are thread-safe (one lock per metric; the serving worker
+pool and simulated ranks update concurrently).  ``snapshot()`` returns plain
+dicts; ``merge()`` folds another registry in (counters add, gauges take the
+newest write, histogram windows concatenate and re-trim) — the pattern used
+to aggregate per-rank registries, mirroring ``comm.allreduce`` of the
+distributed counters.
+
+Exporters for snapshots (JSON / Prometheus text) live in
+:mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A thread-safe monotonically increasing counter."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge for ups and downs")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self):
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+    def merge(self, other_snapshot: dict) -> None:
+        with self._lock:
+            self._value += other_snapshot["value"]
+
+
+class Gauge:
+    """A thread-safe last-written value (with a write sequence for merging)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._writes = 0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+            self._writes += 1
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+            self._writes += 1
+
+    @property
+    def value(self):
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {"type": "gauge", "value": self._value, "writes": self._writes}
+
+    def merge(self, other_snapshot: dict) -> None:
+        # Merging gauges from two sources keeps the one written more often
+        # (a proxy for "most recent" that is stable under snapshot dicts).
+        with self._lock:
+            if other_snapshot.get("writes", 0) > self._writes:
+                self._value = other_snapshot["value"]
+                self._writes = other_snapshot["writes"]
+
+
+class Histogram:
+    """Bounded-memory distribution with exact window percentiles.
+
+    The most recent ``window`` observations are kept in a preallocated ring
+    buffer; ``percentile`` computes exact ``np.percentile`` quantiles over
+    that window.  ``count``/``sum``/``min``/``max`` are exact over the full
+    stream, so derived means never drift even after the window wraps.
+    """
+
+    def __init__(self, name: str, window: int = 4096):
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.name = name
+        self.window = int(window)
+        self._lock = threading.Lock()
+        self._ring = np.empty(self.window, dtype=float)
+        self._size = 0      # valid ring entries (<= window)
+        self._cursor = 0    # next write position
+        self._count = 0     # observations over the full stream
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._ring[self._cursor] = value
+            self._cursor = (self._cursor + 1) % self.window
+            if self._size < self.window:
+                self._size += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    # -- reads --------------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def values(self) -> np.ndarray:
+        """The window's observations (a copy), oldest first."""
+
+        with self._lock:
+            return self._window_values()
+
+    def _window_values(self) -> np.ndarray:
+        if self._size == self.window:
+            return np.concatenate(
+                [self._ring[self._cursor:], self._ring[: self._cursor]]
+            )
+        return self._ring[: self._size].copy()
+
+    def percentile(self, q: float) -> float:
+        """Exact percentile over the current window (0 when empty)."""
+
+        values = self.values()
+        if values.size == 0:
+            return 0.0
+        return float(np.percentile(values, q))
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            values = self._window_values()
+            out = {
+                "type": "histogram",
+                "count": self._count,
+                "sum": self._sum,
+                "mean": self._sum / self._count if self._count else 0.0,
+                "min": self._min if self._count else 0.0,
+                "max": self._max if self._count else 0.0,
+                "window": self.window,
+                "window_count": int(values.size),
+            }
+        for q in (50, 90, 99):
+            out[f"p{q}"] = float(np.percentile(values, q)) if values.size else 0.0
+        out["window_values"] = values.tolist()
+        return out
+
+    def merge(self, other_snapshot: dict) -> None:
+        """Fold another histogram's snapshot in (window concatenates, trims)."""
+
+        values = other_snapshot.get("window_values", [])
+        with self._lock:
+            self._count += other_snapshot["count"]
+            self._sum += other_snapshot["sum"]
+            if other_snapshot["count"]:
+                self._min = min(self._min, other_snapshot["min"])
+                self._max = max(self._max, other_snapshot["max"])
+            mine = self._window_values()
+            combined = np.concatenate([mine, np.asarray(values, dtype=float)])
+            kept = combined[-self.window:]
+            self._ring[: kept.size] = kept
+            self._size = int(kept.size)
+            self._cursor = int(kept.size) % self.window
+
+
+class MetricsRegistry:
+    """A named collection of metrics with one snapshot/merge surface."""
+
+    _TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[str, object] = {}
+
+    # -- construction -------------------------------------------------------------
+
+    def _get_or_create(self, name: str, kind: str, factory):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = factory()
+            elif type(metric) is not self._TYPES[kind]:
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {kind}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, "counter", lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, "gauge", lambda: Gauge(name))
+
+    def histogram(self, name: str, window: int = 4096) -> Histogram:
+        return self._get_or_create(name, "histogram", lambda: Histogram(name, window))
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._metrics
+
+    # -- snapshot / merge ---------------------------------------------------------
+
+    def snapshot(self, include_window: bool = False) -> dict:
+        """Plain-dict snapshot of every metric, keyed by name.
+
+        ``include_window`` keeps each histogram's raw window values in the
+        snapshot (needed for lossless cross-rank merging; dropped by default
+        to keep exported snapshots small).
+        """
+
+        with self._lock:
+            metrics = list(self._metrics.items())
+        out = {}
+        for name, metric in sorted(metrics):
+            snap = metric.snapshot()
+            if not include_window:
+                snap.pop("window_values", None)
+            out[name] = snap
+        return out
+
+    def merge(self, other: "MetricsRegistry | dict") -> None:
+        """Fold another registry (or a full snapshot with windows) into this one.
+
+        Metrics absent locally are created with the incoming type; counters
+        add, gauges keep the most-written value, histogram windows
+        concatenate and re-trim to the bounded window.
+        """
+
+        snapshot = (
+            other.snapshot(include_window=True)
+            if isinstance(other, MetricsRegistry)
+            else other
+        )
+        for name, snap in snapshot.items():
+            kind = snap.get("type")
+            if kind == "counter":
+                self.counter(name).merge(snap)
+            elif kind == "gauge":
+                self.gauge(name).merge(snap)
+            elif kind == "histogram":
+                self.histogram(name, window=snap.get("window", 4096)).merge(snap)
+            else:
+                raise ValueError(f"snapshot entry {name!r} has unknown type {kind!r}")

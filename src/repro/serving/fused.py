@@ -28,6 +28,7 @@ from ..mosaic.assembly import overlap_average
 from ..mosaic.geometry import PHASE_OFFSETS, MosaicGeometry
 from ..mosaic.predictor import initialize_lattice_field
 from ..mosaic.solvers import SubdomainSolver
+from ..obs.trace import span
 
 __all__ = ["FusedOutcome", "FusedBatchRunner"]
 
@@ -168,42 +169,44 @@ class FusedBatchRunner:
         converged = np.zeros(num_requests, dtype=bool)
         deltas: list[list[float]] = [[] for _ in range(num_requests)]
 
-        for iteration in range(1, int(budgets.max()) + 1):
-            if not active.any():
-                break
-            phase = (iteration - 1) % len(PHASE_OFFSETS)
-            idx = np.nonzero(active)[0]
-            read_r, read_c = self._phase_reads[phase]
-            if read_r.size:
-                stacked = fields[idx[:, None, None], read_r[None], read_c[None]]
-                batch, subs, loop_len = stacked.shape
-                predictions = self.solver.predict(
-                    stacked.reshape(batch * subs, loop_len), self._center_coords
-                ).reshape(batch, subs, -1)
-                self.predict_calls += 1
-                self.subdomains_solved += batch * subs
-                write_r, write_c = self._phase_writes[phase]
-                fields[idx[:, None, None], write_r[None], write_c[None]] = predictions
-            iterations[idx] = iteration
+        with span("fused.iterate", requests=num_requests) as iterate_span:
+            for iteration in range(1, int(budgets.max()) + 1):
+                if not active.any():
+                    break
+                phase = (iteration - 1) % len(PHASE_OFFSETS)
+                idx = np.nonzero(active)[0]
+                read_r, read_c = self._phase_reads[phase]
+                if read_r.size:
+                    stacked = fields[idx[:, None, None], read_r[None], read_c[None]]
+                    batch, subs, loop_len = stacked.shape
+                    predictions = self.solver.predict(
+                        stacked.reshape(batch * subs, loop_len), self._center_coords
+                    ).reshape(batch, subs, -1)
+                    self.predict_calls += 1
+                    self.subdomains_solved += batch * subs
+                    write_r, write_c = self._phase_writes[phase]
+                    fields[idx[:, None, None], write_r[None], write_c[None]] = predictions
+                iterations[idx] = iteration
 
-            if iteration % self.check_interval == 0:
-                current = fields[idx][:, mask]
-                diff = np.linalg.norm(current - previous[idx], axis=1)
-                denom = np.linalg.norm(previous[idx], axis=1)
-                denom = np.where(denom > 0, denom, 1.0)
-                step_deltas = diff / denom
-                previous[idx] = current
-                for pos, i in enumerate(idx):
-                    deltas[i].append(float(step_deltas[pos]))
-                window_active = any(
-                    self._phase_has_anchors[(it - 1) % len(PHASE_OFFSETS)]
-                    for it in range(iteration - self.check_interval + 1, iteration + 1)
-                )
-                if iteration >= len(PHASE_OFFSETS) and window_active:
-                    newly = idx[step_deltas < tols[idx]]
-                    converged[newly] = True
-                    active[newly] = False
-            active &= iterations < budgets
+                if iteration % self.check_interval == 0:
+                    current = fields[idx][:, mask]
+                    diff = np.linalg.norm(current - previous[idx], axis=1)
+                    denom = np.linalg.norm(previous[idx], axis=1)
+                    denom = np.where(denom > 0, denom, 1.0)
+                    step_deltas = diff / denom
+                    previous[idx] = current
+                    for pos, i in enumerate(idx):
+                        deltas[i].append(float(step_deltas[pos]))
+                    window_active = any(
+                        self._phase_has_anchors[(it - 1) % len(PHASE_OFFSETS)]
+                        for it in range(iteration - self.check_interval + 1, iteration + 1)
+                    )
+                    if iteration >= len(PHASE_OFFSETS) and window_active:
+                        newly = idx[step_deltas < tols[idx]]
+                        converged[newly] = True
+                        active[newly] = False
+                active &= iterations < budgets
+            iterate_span.set_attr("iterations", int(iterations.max(initial=0)))
 
         solutions = self._assemble(fields, loops)
         return [
@@ -227,6 +230,10 @@ class FusedBatchRunner:
         results match ``assemble_solution`` for each request individually.
         """
 
+        with span("fused.assembly", requests=int(fields.shape[0])):
+            return self._assemble_impl(fields, loops)
+
+    def _assemble_impl(self, fields: np.ndarray, loops: np.ndarray) -> list[np.ndarray]:
         geometry = self.geometry
         num_requests = fields.shape[0]
         accumulator = np.zeros_like(fields)

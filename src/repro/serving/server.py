@@ -29,6 +29,7 @@ import numpy as np
 
 from ..mosaic.geometry import MosaicGeometry
 from ..mosaic.solvers import FDSubdomainSolver
+from ..obs.trace import span
 from .api import SolveRequest, SolveResult
 from .batcher import Batch, BatchPolicy, DynamicBatcher
 from .cache import CachedSolution, SolutionCache
@@ -87,6 +88,24 @@ class Server:
         thread's preallocated plan buffers exceed the budget, its least
         recently used plans are evicted.  Eviction counters and current
         plan bytes are surfaced by ``Server.stats()`` under ``"engine"``.
+    engine_profile:
+        Opt compiled modules into per-kernel profiling
+        (:class:`~repro.obs.profile.KernelProfiler`): every executed plan
+        step is timed and attributed to its op, surfaced by
+        ``Server.stats()`` under ``"kernels"`` and by
+        :meth:`kernel_report`.  Served results stay bitwise identical.
+
+    Observability
+    -------------
+    The request lifecycle emits hierarchical spans when tracing is on
+    (:func:`repro.obs.enable_tracing`): ``serving.submit`` (with a
+    ``serving.cache_lookup`` child) and, per executed batch,
+    ``serving.batch`` with ``serving.batch_assembly`` →
+    ``serving.fused_solve`` → ``serving.postprocess`` children.  All serving
+    metrics live in ``self.stats.registry``
+    (:class:`~repro.obs.metrics.MetricsRegistry`), including the
+    ``serving.queue_wait_seconds`` histogram fed from each batch's enqueue
+    timestamps.
     """
 
     def __init__(
@@ -101,6 +120,7 @@ class Server:
         engine: bool = False,
         engine_cache_size: int = 8,
         engine_max_plan_bytes: int | None = None,
+        engine_profile: bool = False,
     ):
         self.solver_factory = solver_factory
         self.policy = policy or BatchPolicy()
@@ -111,14 +131,21 @@ class Server:
         self.clock = clock
         self.engine = bool(engine)
         self.engine_max_plan_bytes = engine_max_plan_bytes
+        self.engine_profile = bool(engine_profile)
         self.engine_modules = None
         engine_stats_provider = None
+        kernel_profile_provider = None
         if self.engine:
             from ..engine import ModuleCache
 
             self.engine_modules = ModuleCache(engine_cache_size)
             engine_stats_provider = self.engine_modules.engine_stats
-        self.stats = ServingStats(engine_stats_provider=engine_stats_provider)
+            if self.engine_profile:
+                kernel_profile_provider = self.engine_modules.kernel_profile
+        self.stats = ServingStats(
+            engine_stats_provider=engine_stats_provider,
+            kernel_profile_provider=kernel_profile_provider,
+        )
         self._batchers: dict[tuple, DynamicBatcher] = {}
         self._pools: dict[tuple, WorkerPool] = {}
         self._submit_times: dict[str, float] = {}
@@ -133,20 +160,25 @@ class Server:
             raise TypeError("submit() takes a SolveRequest; build one with SolveRequest.create")
         if request.request_id in self._submit_times or request.request_id in self._completed:
             raise ValueError(f"duplicate request id {request.request_id!r}")
-        now = self.clock()
-        self.stats.record_submit()
-        self._submit_times[request.request_id] = now
+        with span("serving.submit", request_id=request.request_id):
+            now = self.clock()
+            self.stats.record_submit()
+            self._submit_times[request.request_id] = now
 
-        if self.cache is not None:
-            entry = self.cache.get(request)
-            if entry is not None:
-                self.stats.record_cache_hit()
-                self._complete(request.request_id, entry, cache_hit=True, batch_size=0)
-                return request.request_id
+            if self.cache is not None:
+                with span("serving.cache_lookup") as lookup:
+                    entry = self.cache.get(request)
+                    lookup.set_attr("hit", entry is not None)
+                if entry is not None:
+                    self.stats.record_cache_hit()
+                    self._complete(
+                        request.request_id, entry, cache_hit=True, batch_size=0
+                    )
+                    return request.request_id
 
-        ready = self._batcher_for(request).enqueue(request)
-        self._run_batches(ready)
-        self._run_batches(self.poll())
+            ready = self._batcher_for(request).enqueue(request)
+            self._run_batches(ready)
+            self._run_batches(self.poll())
         return request.request_id
 
     def poll(self) -> list[Batch]:
@@ -234,16 +266,30 @@ class Server:
         modules = self.engine_modules
 
         max_plan_bytes = self.engine_max_plan_bytes
+        profile = self.engine_profile
 
         def factory(geom):
             from ..engine import compile_solver
 
             return compile_solver(
                 base(geom), cache=modules, cache_key=geometry,
-                max_plan_bytes=max_plan_bytes,
+                max_plan_bytes=max_plan_bytes, profile=profile,
             )
 
         return factory
+
+    def kernel_report(self, n: int = 10) -> str:
+        """Top-kernels table over every compiled module (``engine_profile=True``)."""
+
+        if self.engine_modules is None or not self.engine_profile:
+            raise RuntimeError(
+                "per-kernel profiling is off; build the server with "
+                "engine=True, engine_profile=True"
+            )
+        profiler = self.engine_modules.kernel_profile()
+        if profiler is None:
+            return "=== top kernels ===\n(no compiled module has executed yet)"
+        return profiler.report(n)
 
     def _run_batches(self, batches: list[Batch]) -> None:
         for batch in batches:
@@ -251,57 +297,67 @@ class Server:
 
     def _execute(self, batch: Batch) -> None:
         requests = batch.requests
-        # Deduplicate within the batch on the cache key, so identical (or
-        # near-identical) concurrent requests are solved once.
-        if self.cache is not None:
-            unique: dict[tuple, int] = {}
-            assignment = []
-            for request in requests:
-                key = self.cache.key_for(request)
-                if key not in unique:
-                    unique[key] = len(unique)
+        with span("serving.batch", size=len(requests)) as batch_span:
+            now = self.clock()
+            for enqueued in batch.enqueued_at:
+                self.stats.record_queue_wait(now - enqueued)
+
+            with span("serving.batch_assembly"):
+                # Deduplicate within the batch on the cache key, so identical
+                # (or near-identical) concurrent requests are solved once.
+                if self.cache is not None:
+                    unique: dict[tuple, int] = {}
+                    assignment = []
+                    for request in requests:
+                        key = self.cache.key_for(request)
+                        if key not in unique:
+                            unique[key] = len(unique)
+                        else:
+                            self.stats.record_dedup_hit()
+                        assignment.append(unique[key])
+                    solve_requests = [None] * len(unique)
+                    for request, slot in zip(requests, assignment):
+                        if solve_requests[slot] is None:
+                            solve_requests[slot] = request
                 else:
-                    self.stats.record_dedup_hit()
-                assignment.append(unique[key])
-            solve_requests = [None] * len(unique)
-            for request, slot in zip(requests, assignment):
-                if solve_requests[slot] is None:
-                    solve_requests[slot] = request
-        else:
-            solve_requests = list(requests)
-            assignment = list(range(len(requests)))
+                    solve_requests = list(requests)
+                    assignment = list(range(len(requests)))
 
-        pool = self._pool_for(requests[0])
-        loops = np.stack([r.boundary_loop for r in solve_requests])
-        tols = np.array([r.tol for r in solve_requests])
-        budgets = np.array([r.max_iterations for r in solve_requests])
-        outcomes = pool.solve(loops, tols, budgets)
-        self.stats.record_fused_run(len(solve_requests))
+                pool = self._pool_for(requests[0])
+                loops = np.stack([r.boundary_loop for r in solve_requests])
+                tols = np.array([r.tol for r in solve_requests])
+                budgets = np.array([r.max_iterations for r in solve_requests])
 
-        if self.cache is not None:
-            for request, outcome in zip(solve_requests, outcomes):
-                self.cache.put(
-                    request,
-                    CachedSolution(
+            with span("serving.fused_solve", unique=len(solve_requests)):
+                outcomes = pool.solve(loops, tols, budgets)
+            self.stats.record_fused_run(len(solve_requests))
+            batch_span.set_attr("unique", len(solve_requests))
+
+            with span("serving.postprocess"):
+                if self.cache is not None:
+                    for request, outcome in zip(solve_requests, outcomes):
+                        self.cache.put(
+                            request,
+                            CachedSolution(
+                                solution=outcome.solution,
+                                iterations=outcome.iterations,
+                                converged=outcome.converged,
+                                deltas=outcome.deltas,
+                            ),
+                        )
+
+                for request, slot in zip(requests, assignment):
+                    outcome = outcomes[slot]
+                    entry = CachedSolution(
                         solution=outcome.solution,
                         iterations=outcome.iterations,
                         converged=outcome.converged,
                         deltas=outcome.deltas,
-                    ),
-                )
-
-        for request, slot in zip(requests, assignment):
-            outcome = outcomes[slot]
-            entry = CachedSolution(
-                solution=outcome.solution,
-                iterations=outcome.iterations,
-                converged=outcome.converged,
-                deltas=outcome.deltas,
-            )
-            self._complete(
-                request.request_id, entry, cache_hit=False,
-                batch_size=len(solve_requests),
-            )
+                    )
+                    self._complete(
+                        request.request_id, entry, cache_hit=False,
+                        batch_size=len(solve_requests),
+                    )
 
     def _complete(
         self, request_id: str, entry: CachedSolution, cache_hit: bool, batch_size: int

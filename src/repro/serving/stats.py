@@ -8,34 +8,76 @@ The headline numbers a serving layer must report:
 * **solver runs saved** — how many fused predictor runs batching + caching
   avoided compared to one run per request (the Figure 8 effect at the
   request level).
+
+Since the :mod:`repro.obs` unification, :class:`ServingStats` is a facade
+over a :class:`~repro.obs.metrics.MetricsRegistry`: counts are
+:class:`~repro.obs.metrics.Counter` metrics and the latency / batch-size /
+queue-wait distributions are *bounded* :class:`~repro.obs.metrics.Histogram`
+rings — a long-lived server no longer grows per-request Python lists without
+bound.  The public surface (attribute counters, ``as_dict`` keys,
+``report()``) is unchanged; ``as_dict`` additionally carries the raw
+registry snapshot under ``"obs"`` (exportable with
+:func:`repro.obs.to_json` / :func:`repro.obs.to_prometheus`) and, when the
+server profiles its compiled modules, the top-kernels table under
+``"kernels"``.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["ServingStats"]
 
 
 class ServingStats:
-    """Mutable counters of one server instance, with a formatted report.
+    """Counters of one server instance, with a formatted report.
 
     The instance is also *callable*: ``server.stats()`` returns the snapshot
     dict of :meth:`as_dict` — including the inference-engine plan-cache
     section when the server runs with ``engine=True``.
+
+    Parameters
+    ----------
+    engine_stats_provider:
+        Zero-argument callable returning the engine's counter dict (traces,
+        plan builds, plan bytes, plan evictions), or ``None``.
+    registry:
+        The :class:`~repro.obs.metrics.MetricsRegistry` to record into; a
+        private one is created when omitted.  Passing a shared registry lets
+        several servers (or a server plus its trainer) export one snapshot.
+    window:
+        Ring window of the bounded latency/batch-size/queue-wait histograms
+        — the memory ceiling replacing the old unbounded lists.
+    kernel_profile_provider:
+        Zero-argument callable returning a merged
+        :class:`~repro.obs.profile.KernelProfiler` (or ``None``); set by the
+        server when ``engine_profile=True``.
     """
 
-    def __init__(self, engine_stats_provider=None):
-        self.requests = 0
-        self.cache_hits = 0
-        self.dedup_hits = 0
-        self.fused_runs = 0
-        self.solved_requests = 0
-        self.batch_sizes: list[int] = []
-        self.latencies: list[float] = []
+    def __init__(
+        self,
+        engine_stats_provider=None,
+        registry: MetricsRegistry | None = None,
+        window: int = 4096,
+        kernel_profile_provider=None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._requests = self.registry.counter("serving.requests")
+        self._cache_hits = self.registry.counter("serving.cache_hits")
+        self._dedup_hits = self.registry.counter("serving.dedup_hits")
+        self._fused_runs = self.registry.counter("serving.fused_runs")
+        self._solved_requests = self.registry.counter("serving.solved_requests")
+        self._batch_sizes = self.registry.histogram("serving.batch_size", window=window)
+        self._latencies = self.registry.histogram(
+            "serving.latency_seconds", window=window
+        )
+        self._queue_waits = self.registry.histogram(
+            "serving.queue_wait_seconds", window=window
+        )
         #: zero-argument callable returning the engine's counter dict
         #: (traces, plan builds, plan bytes, plan evictions), or ``None``
         self.engine_stats_provider = engine_stats_provider
+        self.kernel_profile_provider = kernel_profile_provider
 
     def __call__(self) -> dict:
         return self.as_dict()
@@ -43,21 +85,58 @@ class ServingStats:
     # -- recording ----------------------------------------------------------------
 
     def record_submit(self) -> None:
-        self.requests += 1
+        self._requests.inc()
 
     def record_cache_hit(self) -> None:
-        self.cache_hits += 1
+        self._cache_hits.inc()
 
     def record_dedup_hit(self) -> None:
-        self.dedup_hits += 1
+        self._dedup_hits.inc()
 
     def record_fused_run(self, num_unique: int) -> None:
-        self.fused_runs += 1
-        self.solved_requests += num_unique
-        self.batch_sizes.append(num_unique)
+        self._fused_runs.inc()
+        self._solved_requests.inc(num_unique)
+        self._batch_sizes.observe(num_unique)
 
     def record_latency(self, seconds: float) -> None:
-        self.latencies.append(float(seconds))
+        self._latencies.observe(float(seconds))
+
+    def record_queue_wait(self, seconds: float) -> None:
+        self._queue_waits.observe(float(seconds))
+
+    # -- counter facade (same attribute names as the pre-registry class) ----------
+
+    @property
+    def requests(self) -> int:
+        return self._requests.value
+
+    @property
+    def cache_hits(self) -> int:
+        return self._cache_hits.value
+
+    @property
+    def dedup_hits(self) -> int:
+        return self._dedup_hits.value
+
+    @property
+    def fused_runs(self) -> int:
+        return self._fused_runs.value
+
+    @property
+    def solved_requests(self) -> int:
+        return self._solved_requests.value
+
+    @property
+    def batch_sizes(self) -> list:
+        """Recent fused batch sizes (bounded window, oldest first)."""
+
+        return [int(v) for v in self._batch_sizes.values()]
+
+    @property
+    def latencies(self) -> list:
+        """Recent request latencies in seconds (bounded window, oldest first)."""
+
+        return [float(v) for v in self._latencies.values()]
 
     # -- derived ------------------------------------------------------------------
 
@@ -65,9 +144,10 @@ class ServingStats:
     def cache_hit_rate(self) -> float:
         """Requests answered without a solve (LRU or in-batch duplicate)."""
 
-        if self.requests == 0:
+        requests = self.requests
+        if requests == 0:
             return 0.0
-        return (self.cache_hits + self.dedup_hits) / self.requests
+        return (self.cache_hits + self.dedup_hits) / requests
 
     @property
     def completed_requests(self) -> int:
@@ -87,12 +167,11 @@ class ServingStats:
 
     @property
     def mean_batch_size(self) -> float:
-        return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+        # Exact over the full stream (histogram count/sum never wrap).
+        return self._batch_sizes.mean
 
     def latency_percentile(self, percentile: float) -> float:
-        if not self.latencies:
-            return 0.0
-        return float(np.percentile(self.latencies, percentile))
+        return self._latencies.percentile(percentile)
 
     def as_dict(self) -> dict:
         report = {
@@ -104,12 +183,17 @@ class ServingStats:
             "solved_requests": self.solved_requests,
             "solver_runs_saved": self.solver_runs_saved,
             "mean_batch_size": self.mean_batch_size,
-            "latency_mean": float(np.mean(self.latencies)) if self.latencies else 0.0,
+            "latency_mean": self._latencies.mean,
             "latency_p50": self.latency_percentile(50),
             "latency_p99": self.latency_percentile(99),
+            "obs": self.registry.snapshot(),
         }
         if self.engine_stats_provider is not None:
             report["engine"] = self.engine_stats_provider()
+        if self.kernel_profile_provider is not None:
+            profiler = self.kernel_profile_provider()
+            if profiler is not None:
+                report["kernels"] = profiler.as_dict()
         return report
 
     def report(self) -> str:
@@ -134,5 +218,13 @@ class ServingStats:
                 f"{engine['plan_evictions']} evicted, "
                 f"{engine['plan_bytes'] / 1e6:.2f} MB in use "
                 f"({engine['traces']} traces, {engine['modules']} modules)"
+            )
+        kernels = d.get("kernels")
+        if kernels is not None and kernels["kernels"]:
+            top = kernels["kernels"][0]
+            lines.append(
+                f"hottest kernel    : {top['op']} "
+                f"({top['fraction']:.1%} of {kernels['total_seconds']*1e3:.2f} ms "
+                f"over {kernels['total_calls']} kernel calls)"
             )
         return "\n".join(lines)

@@ -19,6 +19,7 @@ from ..distributed.comm import Communicator, ReduceOp
 from ..distributed.simulated import run_spmd
 from ..mosaic.geometry import MosaicGeometry
 from ..mosaic.solvers import SubdomainSolver
+from ..obs.trace import span
 from .fused import FusedBatchRunner, FusedOutcome
 
 __all__ = ["WorkerPool"]
@@ -84,19 +85,25 @@ class WorkerPool:
 
         def rank_program(comm: Communicator) -> tuple[np.ndarray, list[FusedOutcome], np.ndarray]:
             mine = shards[comm.rank]
-            runner = FusedBatchRunner(
-                self.geometry,
-                self.solver_factory(self.geometry),
-                init_mode=self.init_mode,
-                check_interval=self.check_interval,
-            )
-            outcomes = (
-                runner.run(loops[mine], tols[mine], budgets[mine]) if mine.size else []
-            )
-            totals = comm.allreduce(
-                np.array([runner.predict_calls, runner.subdomains_solved], dtype=float),
-                op=ReduceOp.SUM,
-            )
+            # Each rank runs on its own thread, so this span becomes a root
+            # of that thread's trace (children: the fused run/assembly spans).
+            with span("serving.rank", rank=comm.rank, requests=int(mine.size)):
+                runner = FusedBatchRunner(
+                    self.geometry,
+                    self.solver_factory(self.geometry),
+                    init_mode=self.init_mode,
+                    check_interval=self.check_interval,
+                )
+                outcomes = (
+                    runner.run(loops[mine], tols[mine], budgets[mine])
+                    if mine.size else []
+                )
+                totals = comm.allreduce(
+                    np.array(
+                        [runner.predict_calls, runner.subdomains_solved], dtype=float
+                    ),
+                    op=ReduceOp.SUM,
+                )
             return mine, outcomes, totals
 
         per_rank = run_spmd(world, rank_program, timeout=self.timeout)

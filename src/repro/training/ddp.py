@@ -23,6 +23,7 @@ from ..data.dataset import SDNetDataset
 from ..distributed.comm import Communicator, ReduceOp
 from ..distributed.simulated import run_spmd
 from ..models.base import NeuralSolver
+from ..obs.trace import span
 from ..optim import scale_lr_sqrt, scale_warmup_linear
 from .trainer import Trainer, TrainingConfig, TrainingHistory, evaluate_validation_mse
 
@@ -116,20 +117,24 @@ class DataParallelTrainer:
             iterator.set_epoch(epoch)
             tic = time.perf_counter()
             epoch_losses = []
-            for batch in iterator:
-                # Steps 1-2 of Algorithm 1: local gradient accumulation.
-                grads, losses = trainer.compute_gradients(batch)
-                # Step 3: one allreduce for the accumulated gradient.
-                flat = np.concatenate([g.reshape(-1) for g in grads])
-                averaged = comm.allreduce(flat, op=ReduceOp.MEAN)
-                allreduce_count += 1
-                offset = 0
-                averaged_grads = []
-                for g in grads:
-                    averaged_grads.append(averaged[offset: offset + g.size].reshape(g.shape))
-                    offset += g.size
-                trainer.apply_gradients(averaged_grads)
-                epoch_losses.append(losses)
+            # Each rank runs on its own thread, so the epoch span roots that
+            # thread's trace (children: train.* spans and ddp.allreduce).
+            with span("ddp.epoch", rank=comm.rank, epoch=epoch):
+                for batch in iterator:
+                    # Steps 1-2 of Algorithm 1: local gradient accumulation.
+                    grads, losses = trainer.compute_gradients(batch)
+                    # Step 3: one allreduce for the accumulated gradient.
+                    flat = np.concatenate([g.reshape(-1) for g in grads])
+                    with span("ddp.allreduce", rank=comm.rank, elements=int(flat.size)):
+                        averaged = comm.allreduce(flat, op=ReduceOp.MEAN)
+                    allreduce_count += 1
+                    offset = 0
+                    averaged_grads = []
+                    for g in grads:
+                        averaged_grads.append(averaged[offset: offset + g.size].reshape(g.shape))
+                        offset += g.size
+                    trainer.apply_gradients(averaged_grads)
+                    epoch_losses.append(losses)
             history.epoch_times.append(time.perf_counter() - tic)
             if epoch_losses:
                 history.train_loss.append(float(np.mean([l["total"] for l in epoch_losses])))

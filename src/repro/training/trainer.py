@@ -17,6 +17,7 @@ from ..autodiff import grad
 from ..autodiff.tensor import Tensor
 from ..data.dataset import BatchIterator, SDNetDataset, TrainingBatch
 from ..models.base import NeuralSolver
+from ..obs.trace import span
 from ..optim import LAMB, AdamW, Optimizer, WarmupPolynomialDecay
 from ..pde.losses import PinnLoss
 from .metrics import mse
@@ -154,9 +155,10 @@ class Trainer:
         u_data = Tensor(batch.u_data)
 
         # Step 1: data points.
-        data_term = self.loss_fn.data_term(self.model, g, x_data, u_data)
-        grads_data = grad(data_term, params)
-        grads = [gd.data.copy() for gd in grads_data]
+        with span("train.data_loss"):
+            data_term = self.loss_fn.data_term(self.model, g, x_data, u_data)
+            grads_data = grad(data_term, params)
+            grads = [gd.data.copy() for gd in grads_data]
 
         # Step 2: collocation points, accumulated onto the data gradients.
         # The weighted-gradient computation goes through PinnLoss so the
@@ -164,12 +166,13 @@ class Trainer:
         # interchangeable — they produce bitwise-identical gradients.
         pde_value = 0.0
         if self.config.use_pde_loss:
-            x_coll = Tensor(batch.x_collocation)
-            pde_value, grads_pde = self.loss_fn.pde_term_and_grads(
-                self.model, g, x_coll
-            )
-            for acc, gp in zip(grads, grads_pde):
-                acc += gp
+            with span("train.pde_loss", engine=self.config.engine):
+                x_coll = Tensor(batch.x_collocation)
+                pde_value, grads_pde = self.loss_fn.pde_term_and_grads(
+                    self.model, g, x_coll
+                )
+                for acc, gp in zip(grads, grads_pde):
+                    acc += gp
 
         losses = {
             "data": data_term.item(),
@@ -181,15 +184,17 @@ class Trainer:
     def apply_gradients(self, grads: list[np.ndarray]) -> None:
         """Install gradients on the parameters and take an optimizer step."""
 
-        for param, g_arr in zip(self.model.parameters(), grads):
-            param.grad = Tensor(g_arr)
-        self.scheduler.step()
-        self.optimizer.step()
-        self.optimizer.zero_grad()
+        with span("train.optimizer"):
+            for param, g_arr in zip(self.model.parameters(), grads):
+                param.grad = Tensor(g_arr)
+            self.scheduler.step()
+            self.optimizer.step()
+            self.optimizer.zero_grad()
 
     def train_step(self, batch: TrainingBatch) -> dict:
-        grads, losses = self.compute_gradients(batch)
-        self.apply_gradients(grads)
+        with span("train.step"):
+            grads, losses = self.compute_gradients(batch)
+            self.apply_gradients(grads)
         return losses
 
     # -- full loop -------------------------------------------------------------------

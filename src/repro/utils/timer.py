@@ -1,10 +1,22 @@
-"""Lightweight timers for instrumenting the predictors and trainers."""
+"""Lightweight timers for instrumenting the predictors and trainers.
+
+:class:`Timings` is the per-component accumulator (named wall-clock totals)
+used by the predictors' ``timings`` breakdowns.  It is thread-safe — the
+simulated-cluster ranks and the serving worker pool accumulate concurrently —
+and integrates with :mod:`repro.obs`: every :meth:`Timings.measure` section
+also opens an observability span of the same name (free when tracing is
+disabled), and :meth:`snapshot`/:meth:`merge` fold per-rank timings into
+pool-wide totals the way the distributed counters are allreduced.
+"""
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import defaultdict
 from contextlib import contextmanager
+
+from ..obs.trace import span
 
 __all__ = ["Timer", "Timings"]
 
@@ -35,27 +47,68 @@ class Timer:
 
 
 class Timings:
-    """Named accumulation of wall-clock time per category."""
+    """Named accumulation of wall-clock time per category (thread-safe).
+
+    Behaves like a mapping of category name to accumulated seconds —
+    ``get``/``__getitem__``/``__setitem__``/``__contains__`` mirror the plain
+    dict this class replaced, so call sites that treat their ``timings``
+    argument as a dict keep working when handed a :class:`Timings`.
+    """
 
     def __init__(self):
+        self._lock = threading.Lock()
         self._totals: dict[str, float] = defaultdict(float)
 
     @contextmanager
     def measure(self, name: str):
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self._totals[name] += time.perf_counter() - start
+        """Time a ``with`` section; also emits an obs span of the same name."""
+
+        with span(name):
+            start = time.perf_counter()
+            try:
+                yield
+            finally:
+                self.add(name, time.perf_counter() - start)
 
     def add(self, name: str, seconds: float) -> None:
-        self._totals[name] += float(seconds)
+        with self._lock:
+            self._totals[name] += float(seconds)
 
     def total(self) -> float:
-        return sum(self._totals.values())
+        with self._lock:
+            return sum(self._totals.values())
 
     def as_dict(self) -> dict[str, float]:
-        return dict(self._totals)
+        return self.snapshot()
+
+    def snapshot(self) -> dict[str, float]:
+        """Plain-dict copy of the accumulated totals."""
+
+        with self._lock:
+            return dict(self._totals)
+
+    def merge(self, other: "Timings | dict") -> None:
+        """Fold another accumulator (or its snapshot) into this one."""
+
+        snapshot = other.snapshot() if isinstance(other, Timings) else other
+        with self._lock:
+            for name, seconds in snapshot.items():
+                self._totals[name] += float(seconds)
+
+    # -- dict-compatible access ---------------------------------------------------
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        with self._lock:
+            return self._totals.get(name, default)
 
     def __getitem__(self, name: str) -> float:
-        return self._totals[name]
+        with self._lock:
+            return self._totals[name]
+
+    def __setitem__(self, name: str, seconds: float) -> None:
+        with self._lock:
+            self._totals[name] = float(seconds)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._totals

@@ -1,0 +1,13 @@
+"""Shared fixtures for the observability tests."""
+
+import pytest
+
+from repro.obs import disable_tracing
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off_after_test():
+    """Tracing is global state; never let one test leak it into the next."""
+
+    yield
+    disable_tracing()

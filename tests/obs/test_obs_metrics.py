@@ -1,0 +1,214 @@
+"""Metrics registry: concurrency, bounded histograms, merge, exporters."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, to_json, to_prometheus
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("requests")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.snapshot() == {"type": "counter", "value": 5}
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_concurrent_increments_are_exact(self):
+        c = Counter("hits")
+
+        def worker():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = Gauge("depth")
+        g.set(3.0)
+        g.inc(2.0)
+        assert g.value == 5.0
+
+    def test_merge_keeps_most_written(self):
+        a, b = Gauge("g"), Gauge("g")
+        a.set(1.0)
+        b.set(2.0)
+        b.set(3.0)
+        a.merge(b.snapshot())
+        assert a.value == 3.0
+        # The less-written side does not overwrite.
+        fresh = Gauge("g")
+        fresh.set(9.0)
+        a.merge(fresh.snapshot())
+        assert a.value == 3.0
+
+
+class TestHistogram:
+    def test_percentiles_match_numpy_exactly(self):
+        rng = np.random.default_rng(7)
+        values = rng.normal(size=500)
+        h = Histogram("latency", window=1024)
+        for v in values:
+            h.observe(v)
+        for q in (0, 25, 50, 90, 99, 100):
+            assert h.percentile(q) == pytest.approx(float(np.percentile(values, q)), abs=0)
+
+    def test_window_wraps_but_stream_stats_stay_exact(self):
+        h = Histogram("latency", window=8)
+        values = list(range(100))
+        for v in values:
+            h.observe(v)
+        assert h.count == 100
+        assert h.sum == float(sum(values))
+        assert h.mean == pytest.approx(np.mean(values))
+        snap = h.snapshot()
+        assert snap["min"] == 0.0 and snap["max"] == 99.0
+        # Window keeps only the most recent 8, oldest first.
+        assert h.values().tolist() == [92, 93, 94, 95, 96, 97, 98, 99]
+        assert h.percentile(50) == pytest.approx(np.percentile(values[-8:], 50))
+
+    def test_memory_is_bounded(self):
+        h = Histogram("latency", window=16)
+        for v in range(100_000):
+            h.observe(float(v))
+        assert h.values().size == 16
+        assert h._ring.size == 16  # no hidden growth
+
+    def test_concurrent_observe_exact_count_and_sum(self):
+        h = Histogram("latency", window=64)
+
+        def worker():
+            for _ in range(500):
+                h.observe(1.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count == 4000
+        assert h.sum == 4000.0
+
+    def test_merge_concatenates_and_trims(self):
+        a = Histogram("h", window=8)
+        b = Histogram("h", window=8)
+        for v in range(4):
+            a.observe(float(v))          # 0..3
+        for v in range(10, 16):
+            b.observe(float(v))          # 10..15
+        a.merge(b.snapshot())
+        assert a.count == 10
+        assert a.sum == float(sum(range(4)) + sum(range(10, 16)))
+        # 4 + 6 observations trim to the window's most recent 8.
+        assert a.values().tolist() == [2.0, 3.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0]
+        snap = a.snapshot()
+        assert snap["min"] == 0.0 and snap["max"] == 15.0
+
+    def test_empty_histogram_snapshot(self):
+        snap = Histogram("h").snapshot()
+        assert snap["count"] == 0
+        assert snap["p50"] == 0.0 and snap["min"] == 0.0
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("h", window=0)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("b") is reg.histogram("b")
+        assert set(reg.names()) == {"a", "b"}
+        assert "a" in reg and "zzz" not in reg
+
+    def test_type_conflicts_raise(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("requests").inc(3)
+        reg.gauge("depth").set(2.0)
+        reg.histogram("latency").observe(0.5)
+        snap = reg.snapshot()
+        assert snap["requests"] == {"type": "counter", "value": 3}
+        assert snap["depth"]["value"] == 2.0
+        assert snap["latency"]["count"] == 1
+        assert "window_values" not in snap["latency"]
+        assert "window_values" in reg.snapshot(include_window=True)["latency"]
+
+    def test_merge_registries(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("requests").inc(2)
+        b.counter("requests").inc(3)
+        b.counter("only_b").inc(1)
+        b.histogram("latency").observe(1.0)
+        a.merge(b)
+        assert a.counter("requests").value == 5
+        assert a.counter("only_b").value == 1
+        assert a.histogram("latency").count == 1
+
+    def test_merge_snapshot_dict(self):
+        a = MetricsRegistry()
+        a.merge({"requests": {"type": "counter", "value": 7}})
+        assert a.counter("requests").value == 7
+        with pytest.raises(ValueError):
+            a.merge({"weird": {"type": "mystery"}})
+
+    def test_concurrent_mixed_updates(self):
+        reg = MetricsRegistry()
+
+        def worker(index):
+            for i in range(300):
+                reg.counter("requests").inc()
+                reg.histogram("latency").observe(float(index * 300 + i))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("requests").value == 1800
+        assert reg.histogram("latency").count == 1800
+
+
+class TestExporters:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("serving.requests").inc(4)
+        reg.gauge("serving.queue_depth").set(2.0)
+        h = reg.histogram("serving.latency_seconds")
+        for v in (0.1, 0.2, 0.3):
+            h.observe(v)
+        return reg
+
+    def test_to_json_round_trips(self):
+        payload = json.loads(to_json(self._registry().snapshot()))
+        assert payload["serving.requests"]["value"] == 4
+
+    def test_prometheus_text(self):
+        text = to_prometheus(self._registry().snapshot())
+        assert "serving_requests_total 4" in text
+        assert "serving_queue_depth 2" in text
+        assert 'serving_latency_seconds{quantile="0.5"}' in text
+        assert "serving_latency_seconds_count 3" in text
+        assert "serving_latency_seconds_sum" in text
+        # exposition format: every metric carries TYPE metadata
+        assert "# TYPE serving_requests_total counter" in text

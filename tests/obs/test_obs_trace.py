@@ -1,0 +1,184 @@
+"""Span tracer: nesting, exception safety, threading, exporters, overhead path."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import Tracer, disable_tracing, enable_tracing, get_tracer, span
+from repro.obs.trace import _NULL_SPAN
+
+
+class TestNesting:
+    def test_spans_nest_into_a_tree(self):
+        tracer = enable_tracing()
+        with span("request", request_id="r1"):
+            with span("assembly"):
+                pass
+            with span("solve", batch=4):
+                with span("kernel"):
+                    pass
+        roots = tracer.roots
+        assert [r.name for r in roots] == ["request"]
+        request = roots[0]
+        assert request.attrs == {"request_id": "r1"}
+        assert [c.name for c in request.children] == ["assembly", "solve"]
+        assert [c.name for c in request.children[1].children] == ["kernel"]
+        assert tracer.span_count() == 4
+
+    def test_sibling_roots(self):
+        tracer = enable_tracing()
+        with span("a"):
+            pass
+        with span("b"):
+            pass
+        assert [r.name for r in tracer.roots] == ["a", "b"]
+
+    def test_durations_are_ordered(self):
+        tracer = enable_tracing()
+        with span("outer"):
+            with span("inner"):
+                pass
+        outer = tracer.roots[0]
+        inner = outer.children[0]
+        assert outer.end is not None and inner.end is not None
+        assert outer.duration >= inner.duration >= 0.0
+
+    def test_set_attr_during_span(self):
+        tracer = enable_tracing()
+        with span("batch") as s:
+            s.set_attr("unique", 3)
+        assert tracer.roots[0].attrs["unique"] == 3
+
+
+class TestExceptionSafety:
+    def test_exception_closes_span_and_records_error(self):
+        tracer = enable_tracing()
+        with pytest.raises(ValueError):
+            with span("failing"):
+                raise ValueError("boom")
+        root = tracer.roots[0]
+        assert root.end is not None
+        assert root.attrs["error"] == "ValueError"
+
+    def test_exception_does_not_corrupt_nesting(self):
+        tracer = enable_tracing()
+        with span("outer"):
+            with pytest.raises(RuntimeError):
+                with span("inner"):
+                    raise RuntimeError
+            with span("after"):
+                pass
+        root = tracer.roots[0]
+        assert [c.name for c in root.children] == ["inner", "after"]
+        # A span opened after the failure is a fresh root, not a child.
+        with span("next_request"):
+            pass
+        assert [r.name for r in tracer.roots] == ["outer", "next_request"]
+
+
+class TestThreads:
+    def test_each_thread_contributes_its_own_roots(self):
+        tracer = enable_tracing()
+
+        def rank(index):
+            with span("rank", rank=index):
+                with span("solve"):
+                    pass
+
+        threads = [threading.Thread(target=rank, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        roots = tracer.roots
+        assert len(roots) == 4
+        assert {r.attrs["rank"] for r in roots} == {0, 1, 2, 3}
+        # Workers record their own thread ids, never the main thread's
+        # (the OS may reuse an id once a thread exits, so ids need not be
+        # pairwise distinct across all four).
+        assert threading.get_ident() not in {r.thread_id for r in roots}
+        for r in roots:
+            assert [c.name for c in r.children] == ["solve"]
+
+
+class TestBoundedRoots:
+    def test_roots_ring_is_bounded(self):
+        tracer = enable_tracing(Tracer(max_roots=5))
+        for i in range(12):
+            with span("req", i=i):
+                pass
+        roots = tracer.roots
+        assert len(roots) == 5
+        assert [r.attrs["i"] for r in roots] == [7, 8, 9, 10, 11]
+        assert "earlier roots dropped" in tracer.span_tree()
+
+    def test_clear_resets(self):
+        tracer = enable_tracing()
+        with span("x"):
+            pass
+        tracer.clear()
+        assert tracer.roots == []
+        assert tracer.span_count() == 0
+
+
+class TestExporters:
+    def test_chrome_trace_events(self):
+        tracer = enable_tracing()
+        with span("request", request_id="r9"):
+            with span("solve"):
+                pass
+        events = tracer.chrome_trace()
+        assert len(events) == 2
+        by_name = {e["name"]: e for e in events}
+        assert by_name["request"]["ph"] == "X"
+        assert by_name["request"]["args"] == {"request_id": "r9"}
+        assert by_name["solve"]["dur"] <= by_name["request"]["dur"]
+        assert by_name["solve"]["ts"] >= by_name["request"]["ts"]
+
+    def test_chrome_trace_serializes_non_json_attrs(self):
+        tracer = enable_tracing()
+        with span("s", payload=object()):
+            pass
+        events = tracer.chrome_trace()
+        assert isinstance(events[0]["args"]["payload"], str)
+        json.dumps(events)  # whole trace must be serializable
+
+    def test_write_chrome_trace(self, tmp_path):
+        tracer = enable_tracing()
+        with span("request"):
+            pass
+        path = tmp_path / "trace.json"
+        tracer.write_chrome_trace(path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["traceEvents"][0]["name"] == "request"
+
+    def test_span_tree_rendering(self):
+        tracer = enable_tracing()
+        with span("request", request_id="r1"):
+            with span("solve", batch=8):
+                pass
+        tree = tracer.span_tree()
+        lines = tree.splitlines()
+        assert "request" in lines[0] and "request_id=r1" in lines[0]
+        assert lines[1].startswith("  ") and "batch=8" in lines[1]
+
+
+class TestDisabledPath:
+    def test_disabled_span_is_the_shared_null_singleton(self):
+        disable_tracing()
+        assert get_tracer() is None
+        s = span("anything", attr=1)
+        assert s is _NULL_SPAN
+        with s as inner:
+            inner.set_attr("ignored", True)  # no-op, no error
+
+    def test_enable_returns_active_tracer(self):
+        tracer = enable_tracing()
+        assert get_tracer() is tracer
+        custom = Tracer(max_roots=3)
+        assert enable_tracing(custom) is custom
+        assert get_tracer() is custom
+        disable_tracing()
+        assert get_tracer() is None

@@ -58,3 +58,55 @@ class TestTimers:
         assert timings["compute"] > 0
         assert timings.total() == pytest.approx(timings["compute"] + 0.5)
         assert set(timings.as_dict()) == {"compute", "communication"}
+
+    def test_timings_dict_compatible_access(self):
+        timings = Timings()
+        timings["inference"] = 1.5
+        timings["inference"] = timings.get("inference", 0.0) + 0.5
+        assert timings["inference"] == 2.0
+        assert "inference" in timings and "other" not in timings
+        assert timings.get("other") == 0.0
+        assert timings["missing"] == 0.0  # defaultdict semantics preserved
+
+    def test_timings_snapshot_and_merge(self):
+        a, b = Timings(), Timings()
+        a.add("inference", 1.0)
+        b.add("inference", 2.0)
+        b.add("allgather", 0.5)
+        a.merge(b)
+        assert a.snapshot() == {"inference": 3.0, "allgather": 0.5}
+        a.merge({"assembly": 0.25})
+        assert a["assembly"] == 0.25
+        # Snapshot is a copy: mutating it does not write through.
+        snap = a.snapshot()
+        snap["inference"] = 99.0
+        assert a["inference"] == 3.0
+
+    def test_timings_concurrent_accumulation_is_exact(self):
+        import threading
+
+        timings = Timings()
+
+        def worker():
+            for _ in range(1000):
+                timings.add("work", 0.001)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert timings["work"] == pytest.approx(8.0)
+
+    def test_timings_measure_emits_span(self):
+        from repro.obs import disable_tracing, enable_tracing
+
+        tracer = enable_tracing()
+        try:
+            timings = Timings()
+            with timings.measure("assembly"):
+                pass
+            assert [r.name for r in tracer.roots] == ["assembly"]
+            assert timings["assembly"] >= 0.0
+        finally:
+            disable_tracing()
