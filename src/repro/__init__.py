@@ -18,8 +18,10 @@ The package implements, from scratch and on top of numpy only:
 * ``repro.perfmodel`` — GPU and alpha-beta scaling models used to
   regenerate the paper's performance figures,
 * ``repro.serving`` — the batched inference service: request validation,
-  dynamic batching, solution caching and worker-pool sharding in front of
-  the Mosaic Flow predictor,
+  an async submit/future front-end over an idempotent request store,
+  dynamic batching, solution caching, retries/deadlines/quotas and
+  worker-pool sharding in front of the Mosaic Flow predictor, with a
+  deterministic fault-injection harness,
 * ``repro.domains`` — composite (non-rectangular) target domains:
   union-of-rectangles geometries, masked reference solves and load-balanced
   anchor sharding,
@@ -43,6 +45,15 @@ _SERVING_EXPORTS = (
     "BatchPolicy",
     "SolutionCache",
     "ServingEstimator",
+    "SolveFuture",
+    "SolveError",
+    "RetryExhaustedError",
+    "DeadlineExceededError",
+    "QuotaExceededError",
+    "RequestStore",
+    "TenantQuota",
+    "FaultInjector",
+    "FaultSchedule",
 )
 
 #: composite-domain names re-exported at the package top level

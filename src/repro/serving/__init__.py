@@ -2,21 +2,50 @@
 
 Turns many concurrent boundary-value-problem queries into the large fused
 solver batches the device-level execution model exploits (Figures 8/9 of the
-paper): requests are validated and canonicalized (:mod:`.api`), answered from
-an LRU solution cache when possible (:mod:`.cache`), dynamically batched per
-geometry (:mod:`.batcher`, sized by the perfmodel-backed :mod:`.estimator`),
-and executed as fused batched runs (:mod:`.fused`) sharded across simulated
-ranks (:mod:`.workers`) — all behind a synchronous submit/drain front-end
-with latency/cache/batching statistics (:mod:`.server`, :mod:`.stats`).
+paper): requests are validated and canonicalized (:mod:`.api`), claimed in an
+idempotent request store so duplicates and retries never recompute
+(:mod:`.store`), answered from an LRU solution cache when possible
+(:mod:`.cache`), dynamically batched per geometry (:mod:`.batcher`, sized by
+the perfmodel-backed :mod:`.estimator`), and executed as fused batched runs
+(:mod:`.fused`) sharded across simulated ranks (:mod:`.workers`).
+
+The front-end (:mod:`.server`) is an async pipeline: non-blocking
+``submit_async`` returning :mod:`.futures`, a background dispatcher plus a
+solve-worker thread pool, capped-backoff retries, request deadlines and
+per-tenant admission control — with the classic synchronous ``submit`` /
+``drain`` API as thin wrappers over the same path.  Every robustness path is
+deterministically testable through the flag-guarded fault hooks of
+:mod:`.faults`, and :mod:`.stats` reports latency, cache, batching and
+retry/timeout/rejection counters.
 """
 
 from .api import RequestValidationError, SolveRequest, SolveResult
 from .batcher import Batch, BatchPolicy, DynamicBatcher
 from .cache import CachedSolution, SolutionCache
 from .estimator import ServingEstimator
+from .faults import (
+    BATCH_ASSEMBLY,
+    CRASH,
+    DELAY,
+    DUPLICATE,
+    STORE_DELIVER,
+    WORKER_SOLVE,
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+    InjectedFault,
+)
 from .fused import FusedBatchRunner, FusedOutcome
+from .futures import (
+    DeadlineExceededError,
+    QuotaExceededError,
+    RetryExhaustedError,
+    SolveError,
+    SolveFuture,
+)
 from .server import Server, default_solver_factory
 from .stats import ServingStats
+from .store import AdmissionController, RequestStore, TenantQuota
 from .workers import WorkerPool
 
 __all__ = [
@@ -35,4 +64,25 @@ __all__ = [
     "default_solver_factory",
     "ServingStats",
     "WorkerPool",
+    # async front-end
+    "SolveFuture",
+    "SolveError",
+    "RetryExhaustedError",
+    "DeadlineExceededError",
+    "QuotaExceededError",
+    # idempotent store + admission control
+    "RequestStore",
+    "TenantQuota",
+    "AdmissionController",
+    # fault injection
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "InjectedFault",
+    "WORKER_SOLVE",
+    "BATCH_ASSEMBLY",
+    "STORE_DELIVER",
+    "CRASH",
+    "DELAY",
+    "DUPLICATE",
 ]

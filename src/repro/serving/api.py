@@ -83,6 +83,16 @@ class SolveRequest:
         Lattice initialization mode (``"zero"``, ``"mean"`` or ``"linear"``).
     check_interval:
         Convergence-check cadence in iterations.
+    deadline_seconds:
+        Optional completion deadline, measured from submission under the
+        server's clock.  An expired request fails fast with
+        :class:`~repro.serving.futures.DeadlineExceededError` instead of
+        occupying solver capacity; a solve finishing past the deadline
+        rejects the waiter the same way.  Not part of the group, cache or
+        store keys — the same BVP with different deadlines is one solve.
+    tenant:
+        Admission-control tenant the request is accounted against (quotas
+        are per tenant).  Not part of the group, cache or store keys.
     """
 
     request_id: str
@@ -92,6 +102,8 @@ class SolveRequest:
     max_iterations: int
     init_mode: str
     check_interval: int
+    deadline_seconds: float | None = None
+    tenant: str = "default"
 
     @classmethod
     def create(
@@ -103,6 +115,8 @@ class SolveRequest:
         init_mode: str = "mean",
         check_interval: int = 1,
         request_id: str | None = None,
+        deadline_seconds: float | None = None,
+        tenant: str = "default",
     ) -> "SolveRequest":
         """Validate and canonicalize a BVP into a :class:`SolveRequest`."""
 
@@ -136,6 +150,14 @@ class SolveRequest:
             )
         if int(check_interval) < 1:
             raise RequestValidationError("check_interval must be at least 1")
+        if deadline_seconds is not None and not (
+            np.isfinite(deadline_seconds) and deadline_seconds > 0
+        ):
+            raise RequestValidationError(
+                f"deadline_seconds must be finite and positive, got {deadline_seconds}"
+            )
+        if not isinstance(tenant, str) or not tenant:
+            raise RequestValidationError("tenant must be a non-empty string")
         loop.flags.writeable = False
         return cls(
             request_id=request_id if request_id is not None else _next_request_id(),
@@ -145,6 +167,10 @@ class SolveRequest:
             max_iterations=int(max_iterations),
             init_mode=init_mode,
             check_interval=int(check_interval),
+            deadline_seconds=(
+                float(deadline_seconds) if deadline_seconds is not None else None
+            ),
+            tenant=tenant,
         )
 
     @classmethod

@@ -86,6 +86,22 @@ class DynamicBatcher:
         queue.append((request, self.clock()))
         return self.poll()
 
+    def next_deadline(self) -> float | None:
+        """Clock time at which the oldest queued request's wait expires.
+
+        ``None`` when nothing is queued.  The async dispatcher sleeps until
+        the earliest deadline across its batchers instead of busy-polling.
+        """
+
+        oldest = None
+        for queue in self._queues.values():
+            if queue:
+                stamp = queue[0][1]
+                oldest = stamp if oldest is None else min(oldest, stamp)
+        if oldest is None:
+            return None
+        return oldest + self.policy.max_wait_seconds
+
     def poll(self) -> list[Batch]:
         """Release every group that is full or whose deadline has passed."""
 

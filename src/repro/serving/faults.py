@@ -1,0 +1,230 @@
+"""Deterministic fault injection at the serving pipeline's seams.
+
+Robustness features are only real if their failure modes are reproducible.
+This module gives the serving layer flag-guarded, monkeypatch-free fault
+hooks: production code calls :meth:`FaultInjector.fire` at three fixed
+boundaries, and an injector configured with a :class:`FaultSchedule` decides
+— purely from deterministic per-``(site, rank)`` call counters — whether
+that particular call crashes, runs slow, or is delivered twice.  With no
+injector configured (the default) every hook is a no-op attribute check.
+
+Sites (the module-level constants are the wiring contract):
+
+* ``WORKER_SOLVE`` — fired by every worker rank at the worker-call boundary,
+  just before its :class:`~repro.serving.fused.FusedBatchRunner` runs.  A
+  ``crash`` here surfaces as a mid-batch worker failure
+  (:class:`~repro.distributed.simulated.SpmdFailure` wrapping
+  :class:`InjectedFault`) and exercises the server's retry policy; a
+  ``delay`` models a straggling solve and exercises request deadlines.
+* ``BATCH_ASSEMBLY`` — fired while the server stacks a batch's boundary
+  loops; a ``crash`` models corrupt batch assembly.
+* ``STORE_DELIVER`` — fired when the server delivers a solved outcome to the
+  :class:`~repro.serving.store.RequestStore`; a ``duplicate`` makes the
+  server deliver the same outcome twice, exercising upsert idempotency.
+
+Determinism: each spec names the 0-based call index at which it fires, and
+call counters are kept per ``(site, rank)`` so multi-rank thread
+interleavings cannot reorder which call a fault lands on.  Delays never
+``time.sleep`` by default — the injector's ``sleep`` callable is injectable,
+so tests pass a fake clock's ``advance`` and stay wall-clock free.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "WORKER_SOLVE",
+    "BATCH_ASSEMBLY",
+    "STORE_DELIVER",
+    "CRASH",
+    "DELAY",
+    "DUPLICATE",
+    "InjectedFault",
+    "FaultSpec",
+    "FaultSchedule",
+    "FaultInjector",
+]
+
+#: fault sites wired into the serving pipeline
+WORKER_SOLVE = "worker.solve"
+BATCH_ASSEMBLY = "batch.assembly"
+STORE_DELIVER = "store.deliver"
+SITES = (WORKER_SOLVE, BATCH_ASSEMBLY, STORE_DELIVER)
+
+#: fault kinds
+CRASH = "crash"
+DELAY = "delay"
+DUPLICATE = "duplicate"
+KINDS = (CRASH, DELAY, DUPLICATE)
+
+
+class InjectedFault(RuntimeError):
+    """Raised by a ``crash`` fault; never raised by production code paths."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Fires on the ``index``-th call (0-based) at ``site``; when ``rank`` is
+    set, only calls from that worker rank are counted and matched.
+    ``delay_seconds`` applies to ``delay`` faults.
+    """
+
+    site: str
+    index: int
+    kind: str = CRASH
+    rank: int | None = None
+    delay_seconds: float = 0.0
+
+    def __post_init__(self):
+        if self.site not in SITES:
+            raise ValueError(f"unknown fault site {self.site!r}; one of {SITES}")
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; one of {KINDS}")
+        if self.index < 0:
+            raise ValueError("index must be non-negative")
+        if self.delay_seconds < 0:
+            raise ValueError("delay_seconds must be non-negative")
+        if self.kind == DUPLICATE and self.site != STORE_DELIVER:
+            raise ValueError("duplicate faults only apply to the store boundary")
+
+
+class FaultSchedule:
+    """An immutable collection of :class:`FaultSpec` with a seeded builder."""
+
+    def __init__(self, specs: list[FaultSpec] | tuple[FaultSpec, ...] = ()):
+        self.specs = tuple(specs)
+        self._by_site: dict[str, list[FaultSpec]] = {}
+        for spec in self.specs:
+            self._by_site.setdefault(spec.site, []).append(spec)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def match(self, site: str, index: int, rank: int | None) -> FaultSpec | None:
+        """The spec firing on this call, or ``None``."""
+
+        for spec in self._by_site.get(site, ()):
+            if spec.index == index and (spec.rank is None or spec.rank == rank):
+                return spec
+        return None
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        num_faults: int = 3,
+        sites: tuple = SITES,
+        kinds: tuple = (CRASH, DELAY),
+        max_index: int = 8,
+        delay_seconds: float = 0.05,
+    ) -> "FaultSchedule":
+        """Build a reproducible random schedule from a seed.
+
+        The same seed always yields the same specs (sites, kinds, call
+        indices), so a fault scenario found by a randomized run can be
+        replayed exactly by its seed.  ``duplicate`` kinds are remapped onto
+        the store boundary, where they are defined.
+        """
+
+        from ..utils import seeded_rng
+
+        rng = seeded_rng(seed)
+        specs = []
+        for _ in range(int(num_faults)):
+            site = sites[int(rng.integers(len(sites)))]
+            if site == STORE_DELIVER:
+                kind = DUPLICATE  # the only kind defined at the store boundary
+            else:
+                pool = tuple(k for k in kinds if k != DUPLICATE) or (CRASH,)
+                kind = pool[int(rng.integers(len(pool)))]
+            specs.append(
+                FaultSpec(
+                    site=site,
+                    index=int(rng.integers(max_index)),
+                    kind=kind,
+                    delay_seconds=delay_seconds if kind == DELAY else 0.0,
+                )
+            )
+        # Dedup identical (site, index, rank) collisions — one fault per call.
+        unique: dict[tuple, FaultSpec] = {}
+        for spec in specs:
+            unique.setdefault((spec.site, spec.index, spec.rank), spec)
+        return cls(tuple(unique.values()))
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultSchedule` against deterministic call counters.
+
+    Parameters
+    ----------
+    schedule:
+        The faults to inject; a plain list of :class:`FaultSpec` is wrapped.
+    sleep:
+        How ``delay`` faults pass time.  Defaults to :func:`time.sleep`;
+        deterministic tests pass their fake clock's ``advance`` so no real
+        time is spent.
+    enabled:
+        Master flag; a disabled injector counts nothing and injects nothing.
+    """
+
+    def __init__(self, schedule=(), sleep=time.sleep, enabled: bool = True):
+        self.schedule = (
+            schedule if isinstance(schedule, FaultSchedule) else FaultSchedule(schedule)
+        )
+        self.sleep = sleep
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._counts: dict[tuple, int] = {}
+        #: every fault actually injected, in firing order: (site, index, spec)
+        self.fired: list[tuple] = []
+
+    def calls(self, site: str, rank: int | None = None) -> int:
+        """How many times ``site`` has been hit (by ``rank``, if given)."""
+
+        with self._lock:
+            if rank is not None:
+                return self._counts.get((site, rank), 0)
+            return sum(n for (s, _), n in self._counts.items() if s == site)
+
+    def reset(self) -> None:
+        """Zero the call counters so a schedule can be replayed."""
+
+        with self._lock:
+            self._counts.clear()
+            self.fired.clear()
+
+    def fire(self, site: str, rank: int | None = None, **context) -> FaultSpec | None:
+        """Count one call at ``site`` and inject any scheduled fault.
+
+        Returns the injected spec (``delay`` specs after sleeping,
+        ``duplicate`` specs for the caller to act on) or ``None``; raises
+        :class:`InjectedFault` for ``crash`` specs.
+        """
+
+        if not self.enabled:
+            return None
+        with self._lock:
+            key = (site, rank)
+            index = self._counts.get(key, 0)
+            self._counts[key] = index + 1
+            spec = self.schedule.match(site, index, rank)
+            if spec is not None:
+                self.fired.append((site, index, spec))
+        if spec is None:
+            return None
+        if spec.kind == CRASH:
+            raise InjectedFault(
+                f"injected crash at {site} call #{index}"
+                + (f" (rank {rank})" if rank is not None else "")
+            )
+        if spec.kind == DELAY and spec.delay_seconds:
+            self.sleep(spec.delay_seconds)
+        return spec

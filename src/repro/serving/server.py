@@ -1,29 +1,48 @@
-"""Synchronous batched-inference server for Mosaic Flow solves.
+"""Async serving front-end for Mosaic Flow solves.
 
-``Server`` is the front door of the serving subsystem: callers
-:meth:`~Server.submit` canonicalized :class:`~repro.serving.api.SolveRequest`
-objects and :meth:`~Server.drain` completed
-:class:`~repro.serving.api.SolveResult` objects.  Between the two sit the
-pieces the rest of this package provides:
+``Server`` is the front door of the serving subsystem.  Since the async
+rebuild it is a request *pipeline*:
 
-* an LRU :class:`~repro.serving.cache.SolutionCache` answers repeated and
-  near-duplicate requests without any solve,
-* a per-geometry :class:`~repro.serving.batcher.DynamicBatcher` coalesces
-  queued requests into fused batches (size-or-deadline policy, with the
-  batch size optionally chosen by the perfmodel-backed
-  :class:`~repro.serving.estimator.ServingEstimator`),
-* a :class:`~repro.serving.workers.WorkerPool` shards each fused batch
-  across simulated ranks, each running the request-level batched iteration
-  of :class:`~repro.serving.fused.FusedBatchRunner`.
+* :meth:`~Server.submit_async` is non-blocking: it validates the request,
+  runs per-tenant admission control, claims the request's canonical key in
+  the idempotent :class:`~repro.serving.store.RequestStore` (duplicate
+  submissions attach to the in-flight solve, completed keys replay their
+  stored result), consults the LRU
+  :class:`~repro.serving.cache.SolutionCache`, enqueues cache misses into
+  the per-geometry :class:`~repro.serving.batcher.DynamicBatcher`, and
+  returns a :class:`~repro.serving.futures.SolveFuture` immediately;
+* a background **dispatcher thread** (``async_workers >= 1`` +
+  :meth:`~Server.start`) collects size/deadline-released batches and hands
+  them to a **thread pool of solve workers**; each batch executes through
+  the existing :class:`~repro.serving.workers.WorkerPool` (per-rank solver
+  isolation) and :class:`~repro.serving.fused.FusedBatchRunner`;
+* batch execution is fault-tolerant: failed solves are retried with capped
+  exponential backoff (``max_retries``/``retry_backoff_seconds``), requests
+  whose deadline has passed fail fast with
+  :class:`~repro.serving.futures.DeadlineExceededError`, retry exhaustion
+  surfaces :class:`~repro.serving.futures.RetryExhaustedError`, and
+  per-tenant quotas shed load with
+  :class:`~repro.serving.futures.QuotaExceededError` instead of queueing
+  unboundedly;
+* every robustness path is deterministically testable through the
+  flag-guarded :class:`~repro.serving.faults.FaultInjector` hooks at the
+  worker-call, batch-assembly and store boundaries.
 
-The server is synchronous: batches execute inside ``submit``/``drain`` calls
-once released by the batcher.  Results are collected with ``drain()`` (which
-also flushes every queue) or looked up individually with ``result()``.
+The synchronous API is a thin wrapper over the same pipeline: without a
+dispatcher, :meth:`~Server.submit` is ``submit_async`` plus an inline
+:meth:`~Server.pump` of whatever batches were released, and
+:meth:`~Server.drain` flushes, executes (inline or by waiting on the worker
+pool) and returns the completed results — so the sync path and the async
+path run the identical batching, dedup, solve and postprocess code and are
+bitwise-identical for the same request set.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
@@ -34,7 +53,15 @@ from .api import SolveRequest, SolveResult
 from .batcher import Batch, BatchPolicy, DynamicBatcher
 from .cache import CachedSolution, SolutionCache
 from .estimator import ServingEstimator
+from .faults import BATCH_ASSEMBLY, DUPLICATE, STORE_DELIVER, FaultInjector
+from .futures import (
+    DeadlineExceededError,
+    QuotaExceededError,
+    RetryExhaustedError,
+    SolveFuture,
+)
 from .stats import ServingStats
+from .store import AdmissionController, RequestStore, TenantQuota, Waiter
 from .workers import WorkerPool
 
 __all__ = ["Server", "default_solver_factory"]
@@ -47,7 +74,7 @@ def default_solver_factory(geometry: MosaicGeometry) -> FDSubdomainSolver:
 
 
 class Server:
-    """Batched, cached, sharded Mosaic Flow solve service.
+    """Batched, cached, idempotent, fault-tolerant Mosaic Flow solve service.
 
     Parameters
     ----------
@@ -60,52 +87,66 @@ class Server:
         is given, each group's ``max_batch_size`` is additionally capped by
         the estimator's memory/latency recommendation for that geometry.
     cache:
-        A :class:`SolutionCache`, or ``None`` to disable caching (every
-        request is solved).
+        A :class:`SolutionCache`, or ``None`` to disable near-duplicate
+        caching (exact idempotency through the request store remains).
     estimator:
         Optional :class:`ServingEstimator` used to pick per-geometry batch
-        sizes from the GPU cost model.
+        sizes from the GPU cost model, and to turn latency-budget tenant
+        quotas into pending-count limits.
     latency_budget_seconds:
         Latency budget handed to the estimator's recommendation.
     world_size:
         Ranks of the worker pool each fused batch is sharded across.
     clock:
         Monotonic time source (injectable for deterministic tests).
-    engine:
-        Run neural subdomain solves through the :mod:`repro.engine`
-        inference compiler.  Each solver built by ``solver_factory`` is
-        replaced with an engine-backed clone whose
-        :class:`~repro.engine.runtime.CompiledModule` comes from a
-        per-geometry LRU (:class:`~repro.engine.runtime.ModuleCache`, keyed
-        like the solution cache by the request's geometry group), so worker
-        ranks of successive batches reuse the same traced graphs.  Served
+    engine, engine_cache_size, engine_max_plan_bytes, engine_profile:
+        Inference-compiler knobs (see :mod:`repro.engine`): run neural
+        subdomain solves through per-geometry compiled modules with a
+        byte-budgeted plan cache and optional per-kernel profiling.  Served
         results are bitwise identical with the engine on or off.
-    engine_cache_size:
-        Capacity of the per-geometry compiled-module LRU.
-    engine_max_plan_bytes:
-        Per-thread execution-plan memory budget handed to every compiled
-        module (:class:`~repro.engine.runtime.PlanCache`): once a worker
-        thread's preallocated plan buffers exceed the budget, its least
-        recently used plans are evicted.  Eviction counters and current
-        plan bytes are surfaced by ``Server.stats()`` under ``"engine"``.
-    engine_profile:
-        Opt compiled modules into per-kernel profiling
-        (:class:`~repro.obs.profile.KernelProfiler`): every executed plan
-        step is timed and attributed to its op, surfaced by
-        ``Server.stats()`` under ``"kernels"`` and by
-        :meth:`kernel_report`.  Served results stay bitwise identical.
+    store:
+        The idempotent :class:`RequestStore`; a default one (exact keys,
+        2048 settled entries) is created when omitted.  Duplicate
+        submissions of one canonical BVP perform exactly one solve and
+        every future resolves with bitwise-identical arrays.
+    faults:
+        Optional :class:`FaultInjector` enabling the deterministic fault
+        hooks (worker-call, batch-assembly, store-delivery).  ``None`` (the
+        default) leaves every hook a no-op.
+    quotas:
+        Per-tenant admission control: ``{tenant: TenantQuota}``, or one
+        :class:`TenantQuota` applied to every tenant.  Requests over quota
+        are rejected at submit with :class:`QuotaExceededError` (counted in
+        ``stats.rejections``) instead of queueing unboundedly.
+    max_retries:
+        Failed fused solves are retried up to this many times before the
+        batch's requests fail with :class:`RetryExhaustedError`.
+    retry_backoff_seconds, retry_backoff_cap:
+        Capped exponential backoff between retries:
+        ``min(retry_backoff_seconds * 2**(attempt-1), retry_backoff_cap)``.
+    sleep:
+        How backoff passes time (injectable; tests pass a fake clock's
+        ``advance`` so retry scenarios run without real sleeping).
+    async_workers:
+        Size of the solve-worker thread pool.  ``0`` (default) keeps the
+        server fully synchronous — batches run inline on the submitting /
+        draining thread, exactly like the pre-async server.  ``>= 1``
+        enables :meth:`start`, which spawns the background dispatcher and
+        the pool; ``submit_async`` then never executes solves on the
+        caller's thread.
 
     Observability
     -------------
     The request lifecycle emits hierarchical spans when tracing is on
-    (:func:`repro.obs.enable_tracing`): ``serving.submit`` (with a
-    ``serving.cache_lookup`` child) and, per executed batch,
+    (:func:`repro.obs.enable_tracing`): ``serving.submit`` (with
+    ``serving.claim`` and ``serving.cache_lookup`` children and a
+    ``serving.enqueue`` child for queued requests) and, per executed batch,
     ``serving.batch`` with ``serving.batch_assembly`` →
-    ``serving.fused_solve`` → ``serving.postprocess`` children.  All serving
-    metrics live in ``self.stats.registry``
-    (:class:`~repro.obs.metrics.MetricsRegistry`), including the
-    ``serving.queue_wait_seconds`` histogram fed from each batch's enqueue
-    timestamps.
+    ``serving.fused_solve`` (one per attempt, with ``serving.retry`` spans
+    between failed attempts) → ``serving.postprocess`` children.  Counters
+    for retries, rejections, timeouts, failures and store replays live in
+    ``self.stats.registry`` next to the latency/queue-wait histograms.
+    An empty :meth:`drain` emits no spans and records no metrics.
     """
 
     def __init__(
@@ -121,6 +162,15 @@ class Server:
         engine_cache_size: int = 8,
         engine_max_plan_bytes: int | None = None,
         engine_profile: bool = False,
+        store: RequestStore | None = None,
+        faults: FaultInjector | None = None,
+        quotas: dict | TenantQuota | None = None,
+        max_retries: int = 2,
+        retry_backoff_seconds: float = 0.001,
+        retry_backoff_cap: float = 0.1,
+        sleep=time.sleep,
+        async_workers: int = 0,
+        poll_interval_seconds: float = 0.01,
     ):
         self.solver_factory = solver_factory
         self.policy = policy or BatchPolicy()
@@ -146,24 +196,152 @@ class Server:
             engine_stats_provider=engine_stats_provider,
             kernel_profile_provider=kernel_profile_provider,
         )
+        self.store = store if store is not None else RequestStore()
+        self.faults = faults
+        if quotas is None:
+            self.admission = None
+        elif isinstance(quotas, TenantQuota):
+            self.admission = AdmissionController(default=quotas, estimator=estimator)
+        else:
+            self.admission = AdmissionController(quotas=quotas, estimator=estimator)
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.max_retries = int(max_retries)
+        self.retry_backoff_seconds = float(retry_backoff_seconds)
+        self.retry_backoff_cap = float(retry_backoff_cap)
+        self._sleep = sleep
+        if async_workers < 0:
+            raise ValueError("async_workers must be non-negative")
+        self.async_workers = int(async_workers)
+        self.poll_interval_seconds = float(poll_interval_seconds)
+
+        self._lock = threading.RLock()
+        self._work_done = threading.Condition(self._lock)
         self._batchers: dict[tuple, DynamicBatcher] = {}
         self._pools: dict[tuple, WorkerPool] = {}
-        self._submit_times: dict[str, float] = {}
         self._completed: dict[str, SolveResult] = {}
+        self._futures: dict[str, SolveFuture] = {}
+        self._inflight_ids: set[str] = set()
+        self._ready: deque[Batch] = deque()
+        self._inflight_requests = 0
+        self._started = False
+        self._stop_event = threading.Event()
+        self._wake = threading.Event()
+        self._dispatch_thread: threading.Thread | None = None
+        self._executor: ThreadPoolExecutor | None = None
+
+    # -- async lifecycle -----------------------------------------------------------
+
+    def start(self) -> "Server":
+        """Spawn the background dispatcher and the solve-worker pool.
+
+        Requires ``async_workers >= 1``.  Idempotent; returns ``self`` so
+        ``Server(...).start()`` composes, and the server works as a context
+        manager (:meth:`close` on exit).
+        """
+
+        with self._lock:
+            if self._started:
+                return self
+            if self.async_workers < 1:
+                raise ValueError(
+                    "start() needs async_workers >= 1; a sync server runs "
+                    "batches inline in submit()/drain()"
+                )
+            self._stop_event = threading.Event()
+            self._wake = threading.Event()
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.async_workers, thread_name_prefix="serving-solve"
+            )
+            self._dispatch_thread = threading.Thread(
+                target=self._dispatch_loop, name="serving-dispatcher", daemon=True
+            )
+            self._started = True
+            self._dispatch_thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop the dispatcher and worker pool after finishing in-flight work."""
+
+        with self._lock:
+            if not self._started:
+                return
+            thread, executor = self._dispatch_thread, self._executor
+            self._stop_event.set()
+            self._wake.set()
+        thread.join(timeout=30.0)
+        executor.shutdown(wait=True)
+        with self._lock:
+            self._started = False
+            self._dispatch_thread = None
+            self._executor = None
+
+    def __enter__(self) -> "Server":
+        if self.async_workers >= 1:
+            self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def running(self) -> bool:
+        """Whether the background dispatcher is active."""
+
+        with self._lock:
+            return self._started
 
     # -- front-end ----------------------------------------------------------------
 
-    def submit(self, request: SolveRequest) -> str:
-        """Queue one request; returns its id.  May execute released batches."""
+    def submit_async(self, request: SolveRequest) -> SolveFuture:
+        """Queue one request without blocking; returns its future.
+
+        Validation errors (wrong type, duplicate request id) raise
+        synchronously.  Everything else — quota rejection, deadline expiry,
+        retry exhaustion, or the solved result — resolves the returned
+        :class:`SolveFuture`.
+        """
 
         if not isinstance(request, SolveRequest):
             raise TypeError("submit() takes a SolveRequest; build one with SolveRequest.create")
-        if request.request_id in self._submit_times or request.request_id in self._completed:
-            raise ValueError(f"duplicate request id {request.request_id!r}")
+        with self._lock:
+            if request.request_id in self._inflight_ids or request.request_id in self._completed:
+                raise ValueError(f"duplicate request id {request.request_id!r}")
+        future = SolveFuture(request.request_id)
         with span("serving.submit", request_id=request.request_id):
             now = self.clock()
             self.stats.record_submit()
-            self._submit_times[request.request_id] = now
+            waiter = Waiter(request=request, future=future, submitted_at=now)
+
+            if self.admission is not None and not self.admission.admit(request):
+                self.stats.record_rejection()
+                future._set_exception(
+                    QuotaExceededError(
+                        f"tenant {request.tenant!r} is over its admission quota; "
+                        f"request {request.request_id!r} was shed"
+                    )
+                )
+                return future
+
+            with self._lock:
+                self._inflight_ids.add(request.request_id)
+                self._futures[request.request_id] = future
+
+            with span("serving.claim") as claim_span:
+                claim = self.store.claim(request, waiter)
+                claim_span.set_attr("owner", claim.owner)
+                claim_span.set_attr("replay", claim.replay)
+            if claim.replay:
+                # Idempotent replay: the canonical key was solved before;
+                # resolve from the stored result, bitwise-identical.
+                self.stats.record_store_hit()
+                self._finish_waiter(waiter, claim.entry.result, cache_hit=True, batch_size=0)
+                return future
+            if not claim.owner:
+                # Duplicate of an in-flight solve: the waiter is attached to
+                # the owner's entry and resolves when that solve completes.
+                self.stats.record_dedup_hit()
+                return future
 
             if self.cache is not None:
                 with span("serving.cache_lookup") as lookup:
@@ -171,53 +349,202 @@ class Server:
                     lookup.set_attr("hit", entry is not None)
                 if entry is not None:
                     self.stats.record_cache_hit()
-                    self._complete(
-                        request.request_id, entry, cache_hit=True, batch_size=0
-                    )
-                    return request.request_id
+                    for hit_waiter in self.store.fulfill(request, entry):
+                        self._finish_waiter(hit_waiter, entry, cache_hit=True, batch_size=0)
+                    return future
 
-            ready = self._batcher_for(request).enqueue(request)
-            self._run_batches(ready)
-            self._run_batches(self.poll())
+            with span("serving.enqueue"):
+                with self._lock:
+                    batcher = self._batcher_for(request)
+                    released = batcher.enqueue(request)
+                    for other in self._batchers.values():
+                        if other is not batcher:
+                            released.extend(other.poll())
+                    self._ready.extend(released)
+            if self._started:
+                self._wake.set()
+        return future
+
+    def submit(self, request: SolveRequest) -> str:
+        """Queue one request; returns its id (thin sync wrapper).
+
+        Without a running dispatcher this executes any released batches
+        inline, exactly like the pre-async server; with one, execution
+        happens on the worker pool and :meth:`drain` (or the future from
+        :meth:`future`) collects the outcome.  A quota rejection raises
+        :class:`QuotaExceededError` here, since there is no future to
+        carry it.
+        """
+
+        fut = self.submit_async(request)
+        if not self._started:
+            self.pump()
+        if fut.done():
+            error = fut.exception()
+            if isinstance(error, QuotaExceededError):
+                raise error
         return request.request_id
 
     def poll(self) -> list[Batch]:
-        """Collect deadline-expired batches from every group (without running)."""
+        """Collect deadline-expired batches from every group (without running).
 
-        released: list[Batch] = []
-        for batcher in self._batchers.values():
-            released.extend(batcher.poll())
-        return released
+        The returned batches are also scheduled on the pipeline (``_ready``),
+        so callers only inspect them — :meth:`pump`, the dispatcher or
+        :meth:`drain` executes them.
+        """
+
+        with self._lock:
+            released: list[Batch] = []
+            for batcher in self._batchers.values():
+                released.extend(batcher.poll())
+            self._ready.extend(released)
+            return released
+
+    def pump(self) -> None:
+        """Execute released batches on the calling thread (sync-mode driver)."""
+
+        while True:
+            with self._lock:
+                batches = self._take_ready()
+            if not batches:
+                return
+            for batch in batches:
+                self._run_batch(batch)
 
     def drain(self) -> dict[str, SolveResult]:
         """Flush and execute every queued request; return completed results.
 
-        Returns every result completed since the previous ``drain`` (including
-        cache hits and batches released during ``submit``), keyed by request
-        id, and clears the completed set.
+        Returns every result completed since the previous ``drain``
+        (including cache hits, store replays and batches executed during
+        ``submit``), keyed by request id, and clears the completed set.
+        Requests that *failed* (deadline, retry exhaustion, quota) are not
+        in the dict — their typed error lives on their future.
+
+        A drain with nothing queued or in flight returns immediately
+        without touching the batchers and without emitting any spans or
+        metrics.
         """
 
-        for batcher in self._batchers.values():
-            self._run_batches(batcher.flush())
-        completed, self._completed = self._completed, {}
-        return completed
+        with self._lock:
+            idle = (
+                not self._ready
+                and self._inflight_requests == 0
+                and all(b.queue_depth == 0 for b in self._batchers.values())
+            )
+            if idle:
+                return self._collect_completed()
+        with span("serving.drain"):
+            with self._lock:
+                for batcher in self._batchers.values():
+                    self._ready.extend(batcher.flush())
+            if self._started:
+                self._wake.set()
+                self._wait_idle()
+            else:
+                self.pump()
+            with self._lock:
+                return self._collect_completed()
 
     def result(self, request_id: str) -> SolveResult | None:
         """Completed result for a request id, or ``None`` if still pending."""
 
-        return self._completed.get(request_id)
+        with self._lock:
+            return self._completed.get(request_id)
+
+    def future(self, request_id: str) -> SolveFuture | None:
+        """The future of a request submitted since the last :meth:`drain`."""
+
+        with self._lock:
+            return self._futures.get(request_id)
 
     @property
     def pending(self) -> int:
-        """Requests queued but not yet executed."""
+        """Requests queued or executing but not yet completed."""
 
-        return sum(batcher.queue_depth for batcher in self._batchers.values())
+        with self._lock:
+            return (
+                sum(batcher.queue_depth for batcher in self._batchers.values())
+                + sum(len(batch) for batch in self._ready)
+                + self._inflight_requests
+            )
+
+    # -- dispatcher / execution ----------------------------------------------------
+
+    def _collect_completed(self) -> dict[str, SolveResult]:
+        # Caller holds self._lock.
+        completed, self._completed = self._completed, {}
+        for request_id in list(self._futures):
+            if request_id not in self._inflight_ids:
+                del self._futures[request_id]
+        return completed
+
+    def _take_ready(self) -> list[Batch]:
+        # Caller holds self._lock.  Deadline-expired batches ride along, and
+        # the in-flight request count moves atomically with the hand-off so
+        # `pending` and `_wait_idle` never observe a gap.
+        for batcher in self._batchers.values():
+            self._ready.extend(batcher.poll())
+        batches = list(self._ready)
+        self._ready.clear()
+        self._inflight_requests += sum(len(batch) for batch in batches)
+        return batches
+
+    def _dispatch_loop(self) -> None:
+        while not self._stop_event.is_set():
+            with self._lock:
+                batches = self._take_ready()
+            if batches:
+                for batch in batches:
+                    self._executor.submit(self._run_batch, batch)
+                continue
+            timeout = self.poll_interval_seconds
+            with self._lock:
+                deadlines = [
+                    batcher.next_deadline() for batcher in self._batchers.values()
+                ]
+            deadlines = [d for d in deadlines if d is not None]
+            if deadlines:
+                timeout = min(timeout, max(0.0, min(deadlines) - self.clock()))
+            self._wake.wait(timeout=timeout)
+            self._wake.clear()
+        # Final sweep so close() never strands released batches.
+        with self._lock:
+            batches = self._take_ready()
+        for batch in batches:
+            self._executor.submit(self._run_batch, batch)
+
+    def _run_batch(self, batch: Batch) -> None:
+        try:
+            self._execute(batch)
+        except Exception as exc:
+            # _execute handles solver failures itself; anything escaping here
+            # (assembly faults, bugs) must still resolve the batch's waiters.
+            error = RetryExhaustedError(f"batch execution failed: {exc!r}", attempts=1)
+            error.__cause__ = exc
+            self.stats.record_failure()
+            self._fail_requests(batch.requests, error)
+        finally:
+            with self._lock:
+                self._inflight_requests -= len(batch)
+                self._work_done.notify_all()
+
+    def _wait_idle(self, timeout: float | None = None) -> bool:
+        def idle() -> bool:
+            return (
+                not self._ready
+                and self._inflight_requests == 0
+                and all(b.queue_depth == 0 for b in self._batchers.values())
+            )
+
+        with self._lock:
+            return self._work_done.wait_for(idle, timeout=timeout)
 
     # -- internals ----------------------------------------------------------------
 
     def _batcher_for(self, request: SolveRequest) -> DynamicBatcher:
-        # One batcher per group (rather than one batcher for all groups)
-        # because the estimator makes max_batch_size a per-geometry policy.
+        # Caller holds self._lock.  One batcher per group (rather than one
+        # batcher for all groups) because the estimator makes max_batch_size
+        # a per-geometry policy.
         key = request.group_key
         batcher = self._batchers.get(key)
         if batcher is None:
@@ -238,16 +565,18 @@ class Server:
 
     def _pool_for(self, request: SolveRequest) -> WorkerPool:
         key = request.group_key
-        pool = self._pools.get(key)
-        if pool is None:
-            pool = WorkerPool(
-                request.geometry,
-                self._engine_solver_factory(request.geometry),
-                world_size=self.world_size,
-                init_mode=request.init_mode,
-                check_interval=request.check_interval,
-            )
-            self._pools[key] = pool
+        with self._lock:
+            pool = self._pools.get(key)
+            if pool is None:
+                pool = WorkerPool(
+                    request.geometry,
+                    self._engine_solver_factory(request.geometry),
+                    world_size=self.world_size,
+                    init_mode=request.init_mode,
+                    check_interval=request.check_interval,
+                    faults=self.faults,
+                )
+                self._pools[key] = pool
         return pool
 
     def _engine_solver_factory(self, geometry):
@@ -291,10 +620,6 @@ class Server:
             return "=== top kernels ===\n(no compiled module has executed yet)"
         return profiler.report(n)
 
-    def _run_batches(self, batches: list[Batch]) -> None:
-        for batch in batches:
-            self._execute(batch)
-
     def _execute(self, batch: Batch) -> None:
         requests = batch.requests
         with span("serving.batch", size=len(requests)) as batch_span:
@@ -302,13 +627,36 @@ class Server:
             for enqueued in batch.enqueued_at:
                 self.stats.record_queue_wait(now - enqueued)
 
+            # Deadline fail-fast: a request all of whose waiters have expired
+            # is failed here instead of occupying solver capacity.
+            live: list[SolveRequest] = []
+            for request in requests:
+                expired = self.store.expire(request, now)
+                if expired is None:
+                    live.append(request)
+                    continue
+                for waiter in expired:
+                    self._reject_waiter(
+                        waiter,
+                        DeadlineExceededError(
+                            f"request {waiter.request.request_id!r} missed its "
+                            f"{waiter.request.deadline_seconds}s deadline "
+                            f"before dispatch"
+                        ),
+                    )
+            if not live:
+                batch_span.set_attr("expired", len(requests))
+                return
+
             with span("serving.batch_assembly"):
+                if self.faults is not None:
+                    self.faults.fire(BATCH_ASSEMBLY, size=len(live))
                 # Deduplicate within the batch on the cache key, so identical
                 # (or near-identical) concurrent requests are solved once.
                 if self.cache is not None:
                     unique: dict[tuple, int] = {}
                     assignment = []
-                    for request in requests:
+                    for request in live:
                         key = self.cache.key_for(request)
                         if key not in unique:
                             unique[key] = len(unique)
@@ -316,37 +664,28 @@ class Server:
                             self.stats.record_dedup_hit()
                         assignment.append(unique[key])
                     solve_requests = [None] * len(unique)
-                    for request, slot in zip(requests, assignment):
+                    for request, slot in zip(live, assignment):
                         if solve_requests[slot] is None:
                             solve_requests[slot] = request
                 else:
-                    solve_requests = list(requests)
-                    assignment = list(range(len(requests)))
+                    solve_requests = list(live)
+                    assignment = list(range(len(live)))
 
-                pool = self._pool_for(requests[0])
+                pool = self._pool_for(live[0])
                 loops = np.stack([r.boundary_loop for r in solve_requests])
                 tols = np.array([r.tol for r in solve_requests])
                 budgets = np.array([r.max_iterations for r in solve_requests])
 
-            with span("serving.fused_solve", unique=len(solve_requests)):
-                outcomes = pool.solve(loops, tols, budgets)
+            outcomes = self._solve_with_retries(
+                pool, live, solve_requests, loops, tols, budgets, batch_span
+            )
+            if outcomes is None:
+                return  # retries exhausted; waiters already rejected
             self.stats.record_fused_run(len(solve_requests))
             batch_span.set_attr("unique", len(solve_requests))
 
             with span("serving.postprocess"):
-                if self.cache is not None:
-                    for request, outcome in zip(solve_requests, outcomes):
-                        self.cache.put(
-                            request,
-                            CachedSolution(
-                                solution=outcome.solution,
-                                iterations=outcome.iterations,
-                                converged=outcome.converged,
-                                deltas=outcome.deltas,
-                            ),
-                        )
-
-                for request, slot in zip(requests, assignment):
+                for request, slot in zip(live, assignment):
                     outcome = outcomes[slot]
                     entry = CachedSolution(
                         solution=outcome.solution,
@@ -354,18 +693,94 @@ class Server:
                         converged=outcome.converged,
                         deltas=outcome.deltas,
                     )
-                    self._complete(
-                        request.request_id, entry, cache_hit=False,
-                        batch_size=len(solve_requests),
-                    )
+                    if self.cache is not None:
+                        self.cache.put(request, entry)
+                    deliveries = 1
+                    if self.faults is not None:
+                        spec = self.faults.fire(
+                            STORE_DELIVER, request_id=request.request_id
+                        )
+                        if spec is not None and spec.kind == DUPLICATE:
+                            deliveries = 2  # at-least-once delivery, injected
+                    waiters = []
+                    for _ in range(deliveries):
+                        # The store's upsert is idempotent: a redelivery
+                        # returns no waiters and only bumps its counter.
+                        waiters.extend(self.store.fulfill(request, entry))
+                    for waiter in waiters:
+                        self._finish_waiter(
+                            waiter, entry, cache_hit=False,
+                            batch_size=len(solve_requests),
+                        )
 
-    def _complete(
-        self, request_id: str, entry: CachedSolution, cache_hit: bool, batch_size: int
+    def _solve_with_retries(
+        self, pool, live, solve_requests, loops, tols, budgets, batch_span
+    ):
+        """Run the fused solve with capped exponential backoff retries.
+
+        Returns the outcomes, or ``None`` after failing every waiter with
+        :class:`RetryExhaustedError` once the retry budget is spent.
+        """
+
+        attempts = 0
+        while True:
+            try:
+                with span(
+                    "serving.fused_solve", unique=len(solve_requests), attempt=attempts
+                ):
+                    return pool.solve(loops, tols, budgets)
+            except Exception as exc:
+                attempts += 1
+                for request in live:
+                    self.store.record_attempt(request)
+                if attempts > self.max_retries:
+                    self.stats.record_failure()
+                    batch_span.set_attr("failed", type(exc).__name__)
+                    error = RetryExhaustedError(
+                        f"fused solve failed after {attempts} attempt(s); "
+                        f"last error: {exc!r}",
+                        attempts=attempts,
+                    )
+                    error.__cause__ = exc
+                    self._fail_requests(live, error)
+                    return None
+                self.stats.record_retry()
+                backoff = min(
+                    self.retry_backoff_seconds * (2 ** (attempts - 1)),
+                    self.retry_backoff_cap,
+                )
+                with span(
+                    "serving.retry",
+                    attempt=attempts,
+                    backoff_seconds=backoff,
+                    error=type(exc).__name__,
+                ):
+                    if backoff > 0:
+                        self._sleep(backoff)
+
+    def _fail_requests(self, requests, error: BaseException) -> None:
+        for request in requests:
+            for waiter in self.store.fail(request, error):
+                self._reject_waiter(waiter, error)
+
+    def _finish_waiter(
+        self, waiter: Waiter, entry: CachedSolution, cache_hit: bool, batch_size: int
     ) -> None:
-        latency = self.clock() - self._submit_times.pop(request_id)
+        now = self.clock()
+        deadline = waiter.deadline_at
+        if deadline is not None and now > deadline:
+            self._reject_waiter(
+                waiter,
+                DeadlineExceededError(
+                    f"request {waiter.request.request_id!r} completed after its "
+                    f"{waiter.request.deadline_seconds}s deadline"
+                ),
+            )
+            return
+        latency = now - waiter.submitted_at
         self.stats.record_latency(latency)
-        self._completed[request_id] = SolveResult(
-            request_id=request_id,
+        result = SolveResult(
+            request_id=waiter.request.request_id,
             solution=entry.solution.copy(),
             iterations=entry.iterations,
             converged=entry.converged,
@@ -374,3 +789,20 @@ class Server:
             latency_seconds=latency,
             deltas=list(entry.deltas),
         )
+        with self._lock:
+            self._inflight_ids.discard(waiter.request.request_id)
+            self._completed[waiter.request.request_id] = result
+            self._work_done.notify_all()
+        if self.admission is not None:
+            self.admission.release(waiter.request.tenant)
+        waiter.future._set_result(result)
+
+    def _reject_waiter(self, waiter: Waiter, error: BaseException) -> None:
+        if isinstance(error, DeadlineExceededError):
+            self.stats.record_timeout()
+        with self._lock:
+            self._inflight_ids.discard(waiter.request.request_id)
+            self._work_done.notify_all()
+        if self.admission is not None:
+            self.admission.release(waiter.request.tenant)
+        waiter.future._set_exception(error)

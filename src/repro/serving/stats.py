@@ -74,6 +74,11 @@ class ServingStats:
         self._queue_waits = self.registry.histogram(
             "serving.queue_wait_seconds", window=window
         )
+        self._retries = self.registry.counter("serving.retries")
+        self._rejections = self.registry.counter("serving.rejections")
+        self._timeouts = self.registry.counter("serving.timeouts")
+        self._failures = self.registry.counter("serving.failures")
+        self._store_hits = self.registry.counter("serving.store_hits")
         #: zero-argument callable returning the engine's counter dict
         #: (traces, plan builds, plan bytes, plan evictions), or ``None``
         self.engine_stats_provider = engine_stats_provider
@@ -104,6 +109,24 @@ class ServingStats:
     def record_queue_wait(self, seconds: float) -> None:
         self._queue_waits.observe(float(seconds))
 
+    def record_retry(self) -> None:
+        self._retries.inc()
+
+    def record_rejection(self) -> None:
+        self._rejections.inc()
+
+    def record_timeout(self) -> None:
+        self._timeouts.inc()
+
+    def record_failure(self) -> None:
+        self._failures.inc()
+
+    def record_store_hit(self) -> None:
+        # A store replay answers the request without a solve, exactly like a
+        # cache hit; it counts in both so cache_hit_rate stays meaningful.
+        self._store_hits.inc()
+        self._cache_hits.inc()
+
     # -- counter facade (same attribute names as the pre-registry class) ----------
 
     @property
@@ -125,6 +148,26 @@ class ServingStats:
     @property
     def solved_requests(self) -> int:
         return self._solved_requests.value
+
+    @property
+    def retries(self) -> int:
+        return self._retries.value
+
+    @property
+    def rejections(self) -> int:
+        return self._rejections.value
+
+    @property
+    def timeouts(self) -> int:
+        return self._timeouts.value
+
+    @property
+    def failures(self) -> int:
+        return self._failures.value
+
+    @property
+    def store_hits(self) -> int:
+        return self._store_hits.value
 
     @property
     def batch_sizes(self) -> list:
@@ -182,6 +225,11 @@ class ServingStats:
             "fused_runs": self.fused_runs,
             "solved_requests": self.solved_requests,
             "solver_runs_saved": self.solver_runs_saved,
+            "retries": self.retries,
+            "rejections": self.rejections,
+            "timeouts": self.timeouts,
+            "failures": self.failures,
+            "store_hits": self.store_hits,
             "mean_batch_size": self.mean_batch_size,
             "latency_mean": self._latencies.mean,
             "latency_p50": self.latency_percentile(50),
@@ -207,6 +255,8 @@ class ServingStats:
             f"cache hit rate    : {d['cache_hit_rate']:.1%}",
             f"fused solver runs : {d['fused_runs']} (mean batch {d['mean_batch_size']:.1f})",
             f"solver runs saved : {d['solver_runs_saved']}",
+            f"retries/timeouts  : {d['retries']} / {d['timeouts']} "
+            f"({d['failures']} failed, {d['rejections']} shed)",
             f"latency mean/p50/p99 : "
             f"{d['latency_mean']*1e3:.2f} / {d['latency_p50']*1e3:.2f} / "
             f"{d['latency_p99']*1e3:.2f} ms",

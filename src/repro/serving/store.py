@@ -1,0 +1,401 @@
+"""Idempotent request store: claim/upsert solve requests by canonical key.
+
+Production clients retry: the same BVP arrives twice because an HTTP call
+timed out, a queue redelivered, or two dashboard tabs asked for the same
+figure.  The store makes those duplicates free and *safe*:
+
+* every request is keyed by its canonical content (geometry, solve
+  parameters, exact boundary bytes — ``decimals=None`` — or quantized bytes
+  when a ``decimals`` is configured), never by its request id;
+* the first submission of a key **claims** it: exactly one solve runs, no
+  matter how many identical submissions race in behind it (they *attach* as
+  extra waiters on the in-flight entry);
+* completed keys are **upserted**: the solved outcome is stored once, a
+  redelivered completion for the same key is detected and counted instead of
+  clobbering or re-resolving anything, and later resubmissions replay the
+  stored result without recomputing — every waiter, first or duplicate,
+  receives bitwise-identical solution arrays;
+* failed keys stay reclaimable: a fresh submission after a failure claims
+  the key again and re-attempts the solve.
+
+The store is the serving layer's analogue of the ``claim_filing`` /
+``upsert_f3x`` pattern of transactional ingest pipelines: claim before work,
+upsert on completion, and make both idempotent so at-least-once delivery
+degenerates to exactly-once effects.
+
+The store never resolves futures itself — :meth:`RequestStore.fulfill`,
+:meth:`RequestStore.fail` and :meth:`RequestStore.expire` *return* the
+detached waiters so the server can apply per-waiter policy (request
+deadlines) while the store stays a pure state machine.  All methods are
+thread-safe under one internal lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .api import SolveRequest
+from .cache import CachedSolution
+from .futures import SolveFuture
+
+__all__ = [
+    "PENDING",
+    "IN_FLIGHT",
+    "DONE",
+    "FAILED",
+    "Waiter",
+    "StoreEntry",
+    "Claim",
+    "RequestStore",
+    "TenantQuota",
+    "AdmissionController",
+]
+
+#: entry lifecycle states (claim moves PENDING -> IN_FLIGHT; upsert closes it)
+PENDING = "pending"
+IN_FLIGHT = "in_flight"
+DONE = "done"
+FAILED = "failed"
+
+
+@dataclass
+class Waiter:
+    """One submission waiting on a store entry (owner or attached duplicate)."""
+
+    request: SolveRequest
+    future: SolveFuture
+    submitted_at: float
+
+    @property
+    def deadline_at(self) -> float | None:
+        """Absolute deadline under the server clock, or ``None``."""
+
+        if self.request.deadline_seconds is None:
+            return None
+        return self.submitted_at + self.request.deadline_seconds
+
+
+@dataclass
+class StoreEntry:
+    """State of one canonical request key."""
+
+    key: tuple
+    state: str = PENDING
+    result: CachedSolution | None = None
+    error: BaseException | None = None
+    #: solve attempts spent on this key across claims (retries included)
+    attempts: int = 0
+    waiters: list[Waiter] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class Claim:
+    """Outcome of :meth:`RequestStore.claim`.
+
+    ``owner`` — this submission must run (or enqueue) the solve.
+    ``replay`` — the key was already DONE; serve ``entry.result`` directly.
+    Neither — the key is in flight; the waiter was attached and will be
+    resolved when the owner's solve completes.
+    """
+
+    owner: bool
+    replay: bool
+    entry: StoreEntry
+
+
+class RequestStore:
+    """Thread-safe claim/upsert store of solve requests by canonical key.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of *completed* (DONE or FAILED) entries retained for
+        replay, LRU-evicted.  In-flight entries are never evicted.
+    decimals:
+        Optional boundary-loop quantization of the canonical key (like
+        :class:`~repro.serving.cache.SolutionCache`).  ``None`` keys on the
+        exact float64 bytes — duplicates must be bitwise resubmissions.
+    """
+
+    def __init__(self, capacity: int = 2048, decimals: int | None = None):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if decimals is not None and decimals < 0:
+            raise ValueError("decimals must be non-negative (or None for exact keys)")
+        self.capacity = int(capacity)
+        self.decimals = decimals
+        self._lock = threading.Lock()
+        self._inflight: dict[tuple, StoreEntry] = {}
+        self._settled: OrderedDict[tuple, StoreEntry] = OrderedDict()
+        # -- counters (exposed via stats()) --
+        self.claims = 0              #: claims that made this submission the owner
+        self.attached = 0            #: duplicate submissions attached to an in-flight key
+        self.replays = 0             #: submissions answered from a DONE entry
+        self.duplicate_deliveries = 0  #: completions redelivered for an already-DONE key
+        self.failures = 0            #: keys settled FAILED
+        self.evictions = 0           #: settled entries dropped by the LRU bound
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._inflight) + len(self._settled)
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    # -- keys ---------------------------------------------------------------------
+
+    def key_for(self, request: SolveRequest) -> tuple:
+        """Canonical content key of a request (excludes id, tenant, deadline)."""
+
+        loop = request.boundary_loop
+        if self.decimals is not None:
+            # Normalize -0.0 so quantized keys are sign-insensitive.
+            loop = np.round(loop, self.decimals) + 0.0
+        return (
+            request.geometry,
+            request.init_mode,
+            request.check_interval,
+            request.tol,
+            request.max_iterations,
+            loop.tobytes(),
+        )
+
+    # -- claim --------------------------------------------------------------------
+
+    def claim(self, request: SolveRequest, waiter: Waiter) -> Claim:
+        """Claim a key for ``waiter`` (or attach/replay if already known)."""
+
+        key = self.key_for(request)
+        with self._lock:
+            entry = self._inflight.get(key)
+            if entry is not None:
+                entry.waiters.append(waiter)
+                self.attached += 1
+                return Claim(owner=False, replay=False, entry=entry)
+            settled = self._settled.get(key)
+            if settled is not None and settled.state == DONE:
+                self._settled.move_to_end(key)
+                self.replays += 1
+                return Claim(owner=False, replay=True, entry=settled)
+            # Unknown key, or a FAILED one: (re)claim it.
+            entry = StoreEntry(key=key, state=IN_FLIGHT, waiters=[waiter])
+            if settled is not None:
+                entry.attempts = settled.attempts
+                del self._settled[key]
+            self._inflight[key] = entry
+            self.claims += 1
+            return Claim(owner=True, replay=False, entry=entry)
+
+    # -- upsert -------------------------------------------------------------------
+
+    def fulfill(self, request: SolveRequest, result: CachedSolution) -> list[Waiter]:
+        """Upsert the solved outcome of a key; return the waiters to resolve.
+
+        Idempotent: a redelivered completion for an already-DONE key is
+        counted in ``duplicate_deliveries`` and returns no waiters (they
+        were already detached by the first delivery), so at-least-once
+        delivery of solver outcomes never double-resolves a future.
+        """
+
+        key = self.key_for(request)
+        with self._lock:
+            entry = self._inflight.pop(key, None)
+            if entry is None:
+                settled = self._settled.get(key)
+                if settled is not None and settled.state == DONE:
+                    self.duplicate_deliveries += 1
+                    return []
+                # Completion for a key the store never saw (store bypassed or
+                # entry evicted mid-flight): upsert it fresh.
+                entry = StoreEntry(key=key)
+            entry.state = DONE
+            entry.result = result
+            entry.error = None
+            waiters, entry.waiters = entry.waiters, []
+            self._settle(key, entry)
+            return waiters
+
+    def fail(self, request: SolveRequest, error: BaseException) -> list[Waiter]:
+        """Settle a key FAILED (reclaimable); return the waiters to reject."""
+
+        key = self.key_for(request)
+        with self._lock:
+            entry = self._inflight.pop(key, None)
+            if entry is None:
+                return []
+            entry.state = FAILED
+            entry.error = error
+            waiters, entry.waiters = entry.waiters, []
+            self.failures += 1
+            self._settle(key, entry)
+            return waiters
+
+    def expire(self, request: SolveRequest, now: float) -> list[Waiter] | None:
+        """Atomically fail a key iff *every* waiter's deadline has passed.
+
+        The fail-fast path of the deadline policy: called at batch dispatch,
+        it removes a request from the solve only when no attached waiter
+        could still use the result.  Returns the expired waiters, or
+        ``None`` if the entry is absent or any waiter is still live (the
+        solve proceeds; per-waiter deadlines are re-checked on completion).
+        """
+
+        key = self.key_for(request)
+        with self._lock:
+            entry = self._inflight.get(key)
+            if entry is None or not entry.waiters:
+                return None
+            deadlines = [w.deadline_at for w in entry.waiters]
+            if any(d is None or d > now for d in deadlines):
+                return None
+            del self._inflight[key]
+            entry.state = FAILED
+            waiters, entry.waiters = entry.waiters, []
+            self.failures += 1
+            self._settle(key, entry)
+            return waiters
+
+    def record_attempt(self, request: SolveRequest) -> int:
+        """Count one solve attempt against a key; returns the new total."""
+
+        key = self.key_for(request)
+        with self._lock:
+            entry = self._inflight.get(key)
+            if entry is None:
+                return 0
+            entry.attempts += 1
+            return entry.attempts
+
+    # -- internals ----------------------------------------------------------------
+
+    def _settle(self, key: tuple, entry: StoreEntry) -> None:
+        # Caller holds self._lock.
+        if key in self._settled:
+            self._settled.move_to_end(key)
+        self._settled[key] = entry
+        while len(self._settled) > self.capacity:
+            self._settled.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "in_flight": len(self._inflight),
+                "settled": len(self._settled),
+                "capacity": self.capacity,
+                "claims": self.claims,
+                "attached": self.attached,
+                "replays": self.replays,
+                "duplicate_deliveries": self.duplicate_deliveries,
+                "failures": self.failures,
+                "evictions": self.evictions,
+            }
+
+
+# ---------------------------------------------------------------------------
+# Admission control
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission limits.
+
+    ``max_pending`` bounds how many of the tenant's requests may be queued
+    or in flight at once.  ``max_backlog_seconds`` expresses the same bound
+    as a latency budget: with a perfmodel estimator available, the pending
+    limit becomes ``budget / estimated-seconds-per-request`` for the
+    request's geometry — bigger problems get smaller queues.  When both are
+    set the tighter limit wins; a quota with neither admits everything.
+    """
+
+    max_pending: int | None = None
+    max_backlog_seconds: float | None = None
+
+    def __post_init__(self):
+        if self.max_pending is not None and self.max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        if self.max_backlog_seconds is not None and self.max_backlog_seconds <= 0:
+            raise ValueError("max_backlog_seconds must be positive")
+
+
+class AdmissionController:
+    """Sheds load per tenant instead of queueing unboundedly.
+
+    Parameters
+    ----------
+    quotas:
+        ``{tenant: TenantQuota}``; ``default`` applies to tenants without an
+        explicit entry (``None`` admits them unconditionally).
+    estimator:
+        Optional :class:`~repro.serving.estimator.ServingEstimator` turning
+        ``max_backlog_seconds`` quotas into pending-count limits via the
+        model cost of one request's dense-assembly call.
+    """
+
+    def __init__(self, quotas: dict | None = None,
+                 default: TenantQuota | None = None, estimator=None):
+        self.quotas = dict(quotas or {})
+        self.default = default
+        self.estimator = estimator
+        self._lock = threading.Lock()
+        self._pending: dict[str, int] = {}
+        self._cost_cache: dict = {}
+
+    def pending(self, tenant: str) -> int:
+        with self._lock:
+            return self._pending.get(tenant, 0)
+
+    def limit_for(self, request: SolveRequest) -> int | None:
+        """Effective pending limit for this request's tenant, or ``None``."""
+
+        quota = self.quotas.get(request.tenant, self.default)
+        if quota is None:
+            return None
+        limits = []
+        if quota.max_pending is not None:
+            limits.append(quota.max_pending)
+        if quota.max_backlog_seconds is not None and self.estimator is not None:
+            per_request = self._request_seconds(request.geometry)
+            limits.append(max(1, int(quota.max_backlog_seconds / per_request)))
+        return min(limits) if limits else None
+
+    def admit(self, request: SolveRequest) -> bool:
+        """Admit (and count) the request, or refuse it over quota."""
+
+        limit = self.limit_for(request)
+        with self._lock:
+            count = self._pending.get(request.tenant, 0)
+            if limit is not None and count >= limit:
+                return False
+            self._pending[request.tenant] = count + 1
+            return True
+
+    def release(self, tenant: str) -> None:
+        """Return one admitted slot (request completed, failed or expired)."""
+
+        with self._lock:
+            count = self._pending.get(tenant, 0)
+            if count <= 1:
+                self._pending.pop(tenant, None)
+            else:
+                self._pending[tenant] = count - 1
+
+    def _request_seconds(self, geometry) -> float:
+        cost = self._cost_cache.get(geometry)
+        if cost is None:
+            boundary = geometry.subdomain_grid().boundary_size
+            q_points = len(geometry.interior_local_indices()[0])
+            # Model cost of the request's dense-assembly call: a lower bound
+            # on one request's solve, which is all admission needs.
+            cost = self.estimator.call_latency(
+                max(1, geometry.num_subdomains), boundary, q_points
+            )
+            self._cost_cache[geometry] = cost
+        return cost

@@ -13,6 +13,8 @@ server's stats see pool-wide totals.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from ..distributed.comm import Communicator, ReduceOp
@@ -41,6 +43,13 @@ class WorkerPool:
         Forwarded to the per-rank :class:`FusedBatchRunner`.
     timeout:
         Per-operation timeout of the simulated communicator.
+    faults:
+        Optional :class:`~repro.serving.faults.FaultInjector`.  Every rank
+        fires the ``worker.solve`` site just before running its shard, so a
+        scheduled crash surfaces as a mid-batch worker failure
+        (:class:`~repro.distributed.simulated.SpmdFailure`) and a scheduled
+        delay models a straggling solve — both deterministic, keyed by the
+        per-rank call index.
     """
 
     def __init__(
@@ -51,6 +60,7 @@ class WorkerPool:
         init_mode: str = "mean",
         check_interval: int = 1,
         timeout: float = 300.0,
+        faults=None,
     ):
         if world_size < 1:
             raise ValueError("world_size must be at least 1")
@@ -60,9 +70,13 @@ class WorkerPool:
         self.init_mode = init_mode
         self.check_interval = int(check_interval)
         self.timeout = float(timeout)
+        self.faults = faults
         #: pool-wide fused-call counters, accumulated over all solve() calls
         self.predict_calls = 0
         self.subdomains_solved = 0
+        # The async server may run several batches of one group concurrently;
+        # counter accumulation must not lose increments across those threads.
+        self._counter_lock = threading.Lock()
 
     def solve(
         self,
@@ -88,6 +102,14 @@ class WorkerPool:
             # Each rank runs on its own thread, so this span becomes a root
             # of that thread's trace (children: the fused run/assembly spans).
             with span("serving.rank", rank=comm.rank, requests=int(mine.size)):
+                if self.faults is not None:
+                    # Worker-call fault boundary: a crash here aborts the rank
+                    # mid-batch; a delay makes this rank's solve a straggler.
+                    from .faults import WORKER_SOLVE
+
+                    self.faults.fire(
+                        WORKER_SOLVE, rank=comm.rank, requests=int(mine.size)
+                    )
                 runner = FusedBatchRunner(
                     self.geometry,
                     self.solver_factory(self.geometry),
@@ -111,6 +133,7 @@ class WorkerPool:
         for mine, outcomes, totals in per_rank:
             for index, outcome in zip(mine, outcomes):
                 merged[index] = outcome
-        self.predict_calls += int(per_rank[0][2][0])
-        self.subdomains_solved += int(per_rank[0][2][1])
+        with self._counter_lock:
+            self.predict_calls += int(per_rank[0][2][0])
+            self.subdomains_solved += int(per_rank[0][2][1])
         return merged  # type: ignore[return-value]

@@ -1,0 +1,97 @@
+"""Property-based idempotency of the serving request store (hypothesis).
+
+Random interleavings of duplicate submissions — with drains interleaved, so
+duplicates hit every store state (attached to an in-flight claim, replayed
+from a settled entry) — must perform exactly one solve per canonical BVP and
+resolve every future with bitwise-identical solution arrays.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.mosaic import MosaicGeometry
+from repro.serving import BatchPolicy, Server, SolveRequest
+
+COMMON_SETTINGS = settings(max_examples=15, deadline=None)
+
+GEOMETRY = MosaicGeometry(subdomain_points=9, subdomain_extent=0.5,
+                          steps_x=4, steps_y=4)
+_GRID = GEOMETRY.global_grid()
+#: three distinct canonical BVPs the interleavings draw duplicates from
+LOOPS = [
+    _GRID.boundary_from_function(fn)
+    for fn in (
+        lambda x, y: x + 2.0 * y,
+        lambda x, y: x * x - y * y,
+        lambda x, y: np.exp(x) * np.sin(y),
+    )
+]
+
+# An op is either "submit a (possibly duplicate) request for BVP i" or a
+# drain that settles everything queued so far.
+ops_strategy = st.lists(
+    st.one_of(st.integers(min_value=0, max_value=len(LOOPS) - 1), st.just("drain")),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestIdempotentSubmission:
+    @COMMON_SETTINGS
+    @given(ops=ops_strategy)
+    def test_duplicates_solve_exactly_once(self, ops):
+        server = Server(
+            policy=BatchPolicy(max_batch_size=64, max_wait_seconds=1e9),
+            cache=None,  # the store alone must provide idempotency
+        )
+        futures: dict[int, list] = {}
+        for op in ops:
+            if op == "drain":
+                server.drain()
+                continue
+            request = SolveRequest.create(GEOMETRY, LOOPS[op], max_iterations=25)
+            futures.setdefault(op, []).append(server.submit_async(request))
+        server.drain()
+
+        distinct = {op for op in ops if op != "drain"}
+        # Exactly one claim and one solved row per canonical BVP, no matter
+        # how many duplicates were interleaved or where the drains fell.
+        assert server.store.stats()["claims"] == len(distinct)
+        assert server.stats.solved_requests == len(distinct)
+        assert server.stats.requests == sum(1 for op in ops if op != "drain")
+
+        for op, bvp_futures in futures.items():
+            canonical = None
+            for future in bvp_futures:
+                assert future.done()
+                result = future.result(timeout=0)
+                payload = result.solution.tobytes()
+                if canonical is None:
+                    canonical = payload
+                # Every duplicate, whether attached in flight or replayed
+                # after settling, gets bitwise-identical arrays.
+                assert payload == canonical
+
+    @COMMON_SETTINGS
+    @given(ops=ops_strategy)
+    def test_store_accounting_balances(self, ops):
+        server = Server(
+            policy=BatchPolicy(max_batch_size=64, max_wait_seconds=1e9),
+            cache=None,
+        )
+        for op in ops:
+            if op == "drain":
+                server.drain()
+                continue
+            server.submit_async(
+                SolveRequest.create(GEOMETRY, LOOPS[op], max_iterations=25)
+            )
+        server.drain()
+        stats = server.store.stats()
+        submissions = sum(1 for op in ops if op != "drain")
+        # Every submission is exactly one of: an owning claim, an attached
+        # in-flight duplicate, or a settled replay.
+        assert stats["claims"] + stats["attached"] + stats["replays"] == submissions
+        assert stats["failures"] == 0 and stats["duplicate_deliveries"] == 0
+        assert server.stats.dedup_hits == stats["attached"]
+        assert server.stats.store_hits == stats["replays"]

@@ -9,6 +9,15 @@ from repro.pde import HARMONIC_FUNCTIONS
 from repro.utils import seeded_rng
 
 
+@pytest.hookimpl(tryfirst=True, hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    # Expose each phase's report on the item so fixtures can tell whether the
+    # test failed (used to persist Chrome traces of failing fault scenarios).
+    outcome = yield
+    report = outcome.get_result()
+    setattr(item, "rep_" + report.when, report)
+
+
 @pytest.fixture()
 def harmonic_loops(small_geometry):
     """Deterministic batch of boundary loops: random harmonic combinations."""

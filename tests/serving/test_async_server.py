@@ -1,0 +1,294 @@
+"""Async pipeline behaviour: futures, parity with the sync path, admission.
+
+The async server (dispatcher thread + solve-worker pool) must be a pure
+performance feature: for the same set of requests it returns bit-for-bit the
+solutions the synchronous submit/drain path returns, under any thread
+interleaving, while admission control keeps the queue depth bounded.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.domains import CompositeDomain, CompositeMosaicGeometry
+from repro.serving import (
+    BatchPolicy,
+    QuotaExceededError,
+    Server,
+    ServingEstimator,
+    SolutionCache,
+    SolveRequest,
+    TenantQuota,
+)
+
+
+@pytest.fixture(scope="module")
+def l_geometry():
+    return CompositeMosaicGeometry(9, 0.5, CompositeDomain.l_shape(6, 6, 3, 3))
+
+
+def _mixed_loops(small_geometry, l_geometry, harmonic_loops, seed):
+    """Mixed rect + L-shape BVPs: list of (geometry, boundary_loop)."""
+
+    bvps = [(small_geometry, loop) for loop in harmonic_loops(3, seed=seed)]
+    for weights in ((1.0, 0.5, -0.25), (-0.5, 2.0, 0.75)):
+        loop = l_geometry.boundary_from_function(
+            lambda x, y, w=weights: w[0] * (x * x - y * y) + w[1] * x * y + w[2] * x
+        )
+        bvps.append((l_geometry, loop))
+    return bvps
+
+
+def _sync_reference(bvps):
+    """Solve each BVP on a fresh sync server; returns solution bytes per index."""
+
+    server = Server(
+        policy=BatchPolicy(max_batch_size=4, max_wait_seconds=1e9),
+        cache=SolutionCache(capacity=64),
+    )
+    requests = [
+        SolveRequest.create(geometry, loop, max_iterations=40)
+        for geometry, loop in bvps
+    ]
+    for request in requests:
+        server.submit(request)
+    results = server.drain()
+    return [
+        (results[r.request_id].solution.tobytes(), results[r.request_id].iterations)
+        for r in requests
+    ]
+
+
+class TestAsyncParity:
+    def test_async_matches_sync_bitwise(self, small_geometry, l_geometry,
+                                        harmonic_loops):
+        bvps = _mixed_loops(small_geometry, l_geometry, harmonic_loops, seed=21)
+        reference = _sync_reference(bvps)
+        with Server(
+            policy=BatchPolicy(max_batch_size=4, max_wait_seconds=0.002),
+            cache=SolutionCache(capacity=64),
+            async_workers=2,
+        ) as server:
+            assert server.running
+            futures = [
+                server.submit_async(
+                    SolveRequest.create(geometry, loop, max_iterations=40)
+                )
+                for geometry, loop in bvps
+            ]
+            results = [future.result(timeout=120) for future in futures]
+        assert not server.running
+        for result, (ref_bytes, ref_iterations) in zip(results, reference):
+            assert result.solution.tobytes() == ref_bytes
+            assert result.iterations == ref_iterations
+
+    def test_concurrent_submitters_bitwise_and_exactly_once(
+        self, small_geometry, l_geometry, harmonic_loops
+    ):
+        bvps = _mixed_loops(small_geometry, l_geometry, harmonic_loops, seed=22)
+        reference = _sync_reference(bvps)
+        num_threads = 6
+        failures = []
+        with Server(
+            policy=BatchPolicy(max_batch_size=4, max_wait_seconds=0.002),
+            cache=SolutionCache(capacity=64),
+            async_workers=3,
+        ) as server:
+
+            def submitter(thread_index):
+                try:
+                    indexed = []
+                    for k in range(len(bvps)):
+                        idx = (thread_index + k) % len(bvps)
+                        geometry, loop = bvps[idx]
+                        indexed.append(
+                            (idx, server.submit_async(
+                                SolveRequest.create(geometry, loop, max_iterations=40)
+                            ))
+                        )
+                    for idx, future in indexed:
+                        result = future.result(timeout=120)
+                        assert result.solution.tobytes() == reference[idx][0]
+                        assert result.iterations == reference[idx][1]
+                except Exception as exc:  # noqa: BLE001 - collected for the main thread
+                    failures.append(exc)
+
+            threads = [
+                threading.Thread(target=submitter, args=(t,))
+                for t in range(num_threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert failures == []
+        # Exactly-once: 30 submissions of 5 canonical BVPs claim and solve
+        # each key a single time, no matter the interleaving.
+        assert server.stats.requests == num_threads * len(bvps)
+        assert server.store.stats()["claims"] == len(bvps)
+        assert server.stats.solved_requests == len(bvps)
+
+    def test_drain_collects_async_completions(self, small_geometry, harmonic_loops):
+        with Server(
+            policy=BatchPolicy(max_batch_size=2, max_wait_seconds=0.002),
+            cache=SolutionCache(capacity=64),
+            async_workers=2,
+        ) as server:
+            ids = [
+                server.submit(SolveRequest.create(small_geometry, loop,
+                                                  max_iterations=40))
+                for loop in harmonic_loops(4, seed=23)
+            ]
+            results = server.drain()
+        assert sorted(results) == sorted(ids)
+        assert server.pending == 0
+
+
+class TestFuturesApi:
+    def test_result_timeout_and_callbacks(self, small_geometry, harmonic_loops,
+                                          fake_clock):
+        server = Server(
+            policy=BatchPolicy(max_batch_size=8, max_wait_seconds=1e9),
+            cache=SolutionCache(capacity=64),
+            clock=fake_clock,
+        )
+        request = SolveRequest.create(
+            small_geometry, harmonic_loops(1, seed=24)[0], max_iterations=40
+        )
+        future = server.submit_async(request)
+        assert not future.done()
+        assert server.future(request.request_id) is future
+        with pytest.raises(TimeoutError, match="still pending"):
+            future.result(timeout=0.01)
+        seen = []
+        future.add_done_callback(lambda f: seen.append(f.request_id))
+        server.drain()
+        assert future.done()
+        assert seen == [request.request_id]
+        assert future.exception() is None
+        assert future.result(timeout=0).request_id == request.request_id
+        # Callbacks registered after resolution run immediately.
+        future.add_done_callback(lambda f: seen.append("late"))
+        assert seen == [request.request_id, "late"]
+        # Resolved futures are forgotten at drain; callers keep their handle.
+        assert server.future(request.request_id) is None
+
+    def test_store_replay_across_drains(self, small_geometry, harmonic_loops,
+                                        fake_clock):
+        server = Server(
+            policy=BatchPolicy(max_batch_size=8, max_wait_seconds=1e9),
+            cache=None,  # isolate the store: no LRU in front of it
+            clock=fake_clock,
+        )
+        loop = harmonic_loops(1, seed=25)[0]
+        first = SolveRequest.create(small_geometry, loop, max_iterations=40)
+        server.submit(first)
+        solved = server.drain()[first.request_id]
+        again = SolveRequest.create(small_geometry, loop, max_iterations=40)
+        future = server.submit_async(again)
+        # Answered at submit from the DONE store entry: no queue, no solve.
+        assert future.done()
+        replay = future.result(timeout=0)
+        assert replay.cache_hit
+        assert replay.solution.tobytes() == solved.solution.tobytes()
+        assert server.store.stats()["replays"] == 1
+        assert server.stats.store_hits == 1
+        assert server.stats.fused_runs == 1
+
+
+class TestAdmissionControl:
+    def test_sync_quota_rejection_and_release(self, small_geometry, harmonic_loops,
+                                              fake_clock):
+        server = Server(
+            policy=BatchPolicy(max_batch_size=8, max_wait_seconds=1e9),
+            cache=None,
+            clock=fake_clock,
+            quotas=TenantQuota(max_pending=2),
+        )
+        loops = harmonic_loops(3, seed=26)
+        for loop in loops[:2]:
+            server.submit(SolveRequest.create(small_geometry, loop, max_iterations=40))
+        with pytest.raises(QuotaExceededError, match="over its admission quota"):
+            server.submit(
+                SolveRequest.create(small_geometry, loops[2], max_iterations=40)
+            )
+        assert server.stats.rejections == 1
+        assert server.pending == 2
+        server.drain()
+        # Completion released the admitted slots: the shed BVP is admitted now.
+        retry = SolveRequest.create(small_geometry, loops[2], max_iterations=40)
+        server.submit(retry)
+        assert retry.request_id in server.drain()
+
+    def test_async_quota_bounds_queue_depth(self, small_geometry, harmonic_loops,
+                                            fake_clock):
+        limit = 3
+        server = Server(
+            policy=BatchPolicy(max_batch_size=64, max_wait_seconds=1e9),
+            cache=None,
+            clock=fake_clock,
+            quotas=TenantQuota(max_pending=limit),
+        )
+        futures = [
+            server.submit_async(
+                SolveRequest.create(small_geometry, loop, max_iterations=40)
+            )
+            for loop in harmonic_loops(8, seed=27)
+        ]
+        assert server.pending <= limit
+        shed = [f for f in futures if f.done()]
+        assert len(shed) == len(futures) - limit
+        for future in shed:
+            assert isinstance(future.exception(), QuotaExceededError)
+        assert server.stats.rejections == len(shed)
+        results = server.drain()
+        admitted = [f for f in futures if f not in shed]
+        assert sorted(results) == sorted(f.request_id for f in admitted)
+
+    def test_quotas_are_per_tenant(self, small_geometry, harmonic_loops, fake_clock):
+        server = Server(
+            policy=BatchPolicy(max_batch_size=64, max_wait_seconds=1e9),
+            cache=None,
+            clock=fake_clock,
+            quotas={"metered": TenantQuota(max_pending=1)},
+        )
+        loops = harmonic_loops(4, seed=28)
+        server.submit(
+            SolveRequest.create(small_geometry, loops[0], max_iterations=40,
+                                tenant="metered")
+        )
+        metered = server.submit_async(
+            SolveRequest.create(small_geometry, loops[1], max_iterations=40,
+                                tenant="metered")
+        )
+        assert isinstance(metered.exception(timeout=0), QuotaExceededError)
+        # Tenants without a quota entry (and no default) are unlimited.
+        for loop in loops[2:]:
+            server.submit(
+                SolveRequest.create(small_geometry, loop, max_iterations=40,
+                                    tenant="unmetered")
+            )
+        assert len(server.drain()) == 3
+
+    def test_backlog_quota_uses_perfmodel(self, small_geometry, harmonic_loops,
+                                          fake_clock):
+        # An absurdly slow platform makes one request exceed the backlog
+        # budget, so the perfmodel-driven limit collapses to a single slot.
+        estimator = ServingEstimator.for_platform(
+            "V100", hidden=512, trunk_layers=8, efficiency=1e-9
+        )
+        server = Server(
+            policy=BatchPolicy(max_batch_size=64, max_wait_seconds=1e9),
+            cache=None,
+            clock=fake_clock,
+            estimator=estimator,
+            quotas=TenantQuota(max_backlog_seconds=1.0),
+        )
+        loops = harmonic_loops(2, seed=29)
+        server.submit(SolveRequest.create(small_geometry, loops[0], max_iterations=40))
+        with pytest.raises(QuotaExceededError):
+            server.submit(
+                SolveRequest.create(small_geometry, loops[1], max_iterations=40)
+            )
+        assert server.stats.rejections == 1

@@ -158,6 +158,43 @@ class TestCachingPaths:
         assert d["requests"] == 1 and d["fused_runs"] == 1
 
 
+class TestEmptyDrain:
+    def test_empty_drain_emits_no_spans_or_metrics(self, fake_clock):
+        from repro.obs import disable_tracing, enable_tracing
+
+        server = _server(fake_clock)
+        tracer = enable_tracing()
+        try:
+            assert server.drain() == {}
+        finally:
+            disable_tracing()
+        assert tracer.span_count() == 0
+        d = server.stats.as_dict()
+        assert d["requests"] == 0 and d["fused_runs"] == 0
+        assert d["latency_mean"] == 0.0 and d["mean_batch_size"] == 0.0
+
+    def test_drain_after_drain_is_quiet(self, small_geometry, harmonic_loops,
+                                        fake_clock):
+        from repro.obs import disable_tracing, enable_tracing
+
+        server = _server(fake_clock)
+        server.submit(
+            SolveRequest.create(small_geometry, harmonic_loops(1, seed=10)[0],
+                                max_iterations=30)
+        )
+        server.drain()
+        snapshot = server.stats.as_dict()
+        tracer = enable_tracing()
+        try:
+            assert server.drain() == {}
+        finally:
+            disable_tracing()
+        assert tracer.span_count() == 0
+        after = server.stats.as_dict()
+        after.pop("obs"), snapshot.pop("obs")
+        assert after == snapshot
+
+
 class TestMixedGeometries:
     def test_groups_run_separately_but_all_complete(self, small_geometry, fake_clock):
         other = MosaicGeometry(subdomain_points=9, subdomain_extent=0.5,
