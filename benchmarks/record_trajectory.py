@@ -113,6 +113,12 @@ TRACKED_METRICS = [
         extract=_ratio_l_shape,
         tolerance=SERVING_TOLERANCE,
     ),
+    TrackedMetric(
+        name="serving_megabatch_speedup",
+        artifact="megabatch_serving.json",
+        extract=lambda payload: payload["speedup"],
+        tolerance=SERVING_TOLERANCE,
+    ),
 ]
 
 

@@ -40,6 +40,7 @@ equal to the eager tape.  :class:`~repro.pde.losses.PinnLoss` and
 
 from .bucketing import BucketedPlan, BucketingError, bucket_capacity, build_template
 from .graph import Graph, GraphError, Node
+from .parallel import ParallelExecutionPlan, schedule_waves
 from .jet import CompiledValueAndGrad, JetStats, compile_value_and_grad
 from .kernels import KernelError, build_step, evaluate_node, step_bytes
 from .passes import (
@@ -93,6 +94,8 @@ __all__ = [
     "register_fusion_rule",
     "CompiledModule",
     "ExecutionPlan",
+    "ParallelExecutionPlan",
+    "schedule_waves",
     "ModuleCache",
     "PlanCache",
     "compile_module",

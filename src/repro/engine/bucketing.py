@@ -35,6 +35,7 @@ bitwise equal to eager mode.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 
@@ -537,12 +538,15 @@ class BucketedPlan:
     the bucket executes through views of those buffers.  Like
     :class:`~repro.engine.runtime.ExecutionPlan`, a bucketed plan owns its
     buffers and is therefore **not thread-safe** — callers build one per
-    thread.
+    thread.  The contract is enforced: the plan binds to the first thread
+    that runs it and any other thread's :meth:`run` raises
+    :class:`RuntimeError` instead of silently corrupting shared buffers.
     """
 
     def __init__(self, template: ProgramTemplate, profiler=None):
         self.template = template
         self._profiler = profiler
+        self._owner_thread: int | None = None
         # node id -> buffers allocated for that node at capacity, in the
         # order the node's kernel requested them (main output + scratch).
         self._node_buffers: dict[int, list[np.ndarray]] = {}
@@ -625,6 +629,17 @@ class BucketedPlan:
     def run(self, arrays: "list[np.ndarray]", b: int) -> "list[np.ndarray]":
         """Execute at batch size ``b``; arrays may alias plan buffers."""
 
+        ident = threading.get_ident()
+        owner = self._owner_thread
+        if owner is None:
+            self._owner_thread = ident
+        elif owner != ident:
+            raise RuntimeError(
+                f"BucketedPlan is bound to thread {owner} and was run from "
+                f"thread {ident}; bucketed plans own capacity buffers shared "
+                "by every specialization and are not thread-safe — build one "
+                "plan per thread (the jet runtime does this automatically)"
+            )
         spec = self._specs.get(b)
         if spec is None:
             if not 0 <= b <= self.template.capacity:

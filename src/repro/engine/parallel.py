@@ -1,0 +1,159 @@
+"""Parallel execution of independent plan regions on a shared thread pool.
+
+An optimized :class:`~repro.engine.graph.Graph` is a topologically ordered
+step list, but its dependency structure is rarely a chain: the SDNet split
+architecture, for example, runs a boundary branch and a trunk branch that
+only meet at the final combine.  :func:`schedule_waves` recovers that
+structure as dependency *levels* — the level of a node is one more than the
+maximum level of its inputs, so two nodes on the same level cannot have a
+path between them and may execute concurrently.
+
+:class:`ParallelExecutionPlan` is a drop-in
+:class:`~repro.engine.runtime.ExecutionPlan` that walks the wave schedule
+instead of the flat step list.  Inside a wave, steps whose output is large
+enough to amortize dispatch (``offload_bytes``) are submitted to a shared
+process-wide thread pool while the submitting thread runs the remaining
+steps inline.  The heavy kernels are numpy BLAS/ufunc calls that release the
+GIL, so waves with several big independent steps overlap on real cores.
+
+Bitwise safety: every kernel writes only into its own preallocated ``out=``
+buffer (views — reshape/transpose — are read-only on their input), so steps
+of one wave touch disjoint memory and the per-step floating-point math is
+the exact sequential kernel.  Execution order *between* dependent steps is
+unchanged (waves are a topological refinement), hence outputs are bitwise
+identical to the sequential plan — enforced by the parity tests in
+``tests/engine/test_parallel.py``.
+
+Like every plan, a parallel plan is single-owner: the worker threads of the
+shared pool only ever run individual steps handed to them, they never call
+``run`` themselves, so the one-plan-per-thread ownership contract of
+:class:`ExecutionPlan` is unaffected.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from .graph import Graph
+from .runtime import ExecutionPlan
+
+__all__ = ["OFFLOAD_BYTES", "schedule_waves", "ParallelExecutionPlan"]
+
+#: Minimum step output size (bytes) worth handing to the pool; below this
+#: the submit/wakeup overhead exceeds the kernel itself.
+OFFLOAD_BYTES = 64 * 1024
+
+_pool: ThreadPoolExecutor | None = None
+_pool_lock = threading.Lock()
+
+
+def _shared_pool() -> ThreadPoolExecutor:
+    """The process-wide kernel pool, created lazily on first parallel run."""
+
+    global _pool
+    if _pool is None:
+        with _pool_lock:
+            if _pool is None:
+                _pool = ThreadPoolExecutor(
+                    max_workers=max(2, min(8, os.cpu_count() or 2)),
+                    thread_name_prefix="engine-wave",
+                )
+    return _pool
+
+
+def schedule_waves(graph: Graph) -> list[list[int]]:
+    """Partition a graph's compute steps into dependency levels (waves).
+
+    Returns a list of waves in execution order; each wave lists *step
+    indices* — the position of the node among the graph's executable
+    (non-placeholder, non-constant) nodes, i.e. indices into an
+    :class:`ExecutionPlan`'s step list.  Steps sharing a wave have no
+    dependency path between them: a path strictly increases the level.
+    Within a wave, indices keep graph order, so running every wave's steps
+    in order degenerates to exactly the sequential schedule.
+    """
+
+    level: dict[int, int] = {}
+    waves: dict[int, list[int]] = {}
+    step_index = 0
+    for node in graph:
+        if node.is_placeholder or node.is_constant:
+            level[node.id] = 0
+            continue
+        depth = 1 + max((level[i] for i in node.inputs), default=0)
+        level[node.id] = depth
+        waves.setdefault(depth, []).append(step_index)
+        step_index += 1
+    return [waves[depth] for depth in sorted(waves)]
+
+
+class ParallelExecutionPlan(ExecutionPlan):
+    """An :class:`ExecutionPlan` that overlaps independent steps of a wave.
+
+    Parameters
+    ----------
+    graph, profiler:
+        As for :class:`ExecutionPlan`.  A profiled plan runs sequentially —
+        per-step wall-clock attribution is meaningless with overlap and the
+        profiler's recorder is not re-entrant — so ``profile=True`` simply
+        opts out of the overlap, never changes results.
+    offload_bytes:
+        Steps whose output buffer is at least this large go to the shared
+        pool when their wave holds two or more of them; everything else runs
+        inline on the calling thread.
+    """
+
+    def __init__(self, graph: Graph, profiler=None, offload_bytes: int = OFFLOAD_BYTES):
+        super().__init__(graph, profiler=profiler)
+        self._waves = schedule_waves(graph)
+        self._offload = [
+            nbytes >= offload_bytes for (_op, nbytes) in self._step_info
+        ]
+        self.offloaded_steps = sum(self._offload)
+
+    @property
+    def waves(self) -> list[list[int]]:
+        """The wave schedule (step indices per dependency level)."""
+
+        return [list(wave) for wave in self._waves]
+
+    def run(self, arrays: list) -> list:
+        """Execute the plan wave by wave; returns may alias plan buffers."""
+
+        if self._profiler is not None:
+            return super().run(arrays)
+        self._claim_owner()
+        slots = self._slots
+        for slot, array in zip(self._input_slots, arrays):
+            slots[slot] = array
+        steps = self._steps
+        offload = self._offload
+        for wave in self._waves:
+            big = [i for i in wave if offload[i]]
+            if len(big) < 2:
+                for i in wave:
+                    steps[i](slots)
+                continue
+            # Overlap: big steps (minus one kept for this thread) go to the
+            # pool; the small steps and the kept big step run inline.
+            pool = _shared_pool()
+            futures = [pool.submit(steps[i], slots) for i in big[1:]]
+            error = None
+            try:
+                for i in wave:
+                    if not offload[i]:
+                        steps[i](slots)
+                steps[big[0]](slots)
+            except Exception as exc:  # keep the pool drained before raising
+                error = exc
+            for future in futures:
+                try:
+                    future.result()
+                except Exception as exc:
+                    if error is None:
+                        error = exc
+            if error is not None:
+                raise error
+        return [slots[slot] for slot in self._output_slots]

@@ -63,7 +63,10 @@ class ExecutionPlan:
     """A graph bound to preallocated buffers for one input-shape signature.
 
     Not thread-safe: the plan's kernels write into buffers owned by the
-    plan.  :class:`CompiledModule` builds one plan per thread.
+    plan.  :class:`CompiledModule` builds one plan per thread, and the plan
+    *enforces* that contract — it binds to the first thread that runs it and
+    raises :class:`RuntimeError` when any other thread calls :meth:`run`,
+    instead of silently corrupting shared buffers.
 
     ``profiler`` (a :class:`~repro.obs.profile.KernelProfiler`) opts the plan
     into per-kernel timing: every step is clocked and attributed to its op.
@@ -73,6 +76,7 @@ class ExecutionPlan:
     """
 
     def __init__(self, graph: Graph, profiler=None):
+        self._owner_thread: int | None = None
         slot_of: dict[int, int] = {}
         for position, node in enumerate(graph):
             slot_of[node.id] = position
@@ -104,9 +108,27 @@ class ExecutionPlan:
 
         return sum(int(b.nbytes) for b in self._buffers)
 
+    def _claim_owner(self) -> None:
+        # Enforce the one-plan-per-thread contract.  The first runner binds
+        # the plan (a benign race: two simultaneous first calls were already
+        # corrupting buffers before any check could exist); every later call
+        # from another thread is a caller bug surfaced loudly.
+        ident = threading.get_ident()
+        owner = self._owner_thread
+        if owner is None:
+            self._owner_thread = ident
+        elif owner != ident:
+            raise RuntimeError(
+                f"{type(self).__name__} is bound to thread {owner} and was "
+                f"run from thread {ident}; plans own their buffers and are "
+                "not thread-safe — build one plan per thread "
+                "(CompiledModule and the jet runtime do this automatically)"
+            )
+
     def run(self, arrays: list[np.ndarray]) -> list[np.ndarray]:
         """Execute the plan; returned arrays may alias plan buffers."""
 
+        self._claim_owner()
         slots = self._slots
         for slot, array in zip(self._input_slots, arrays):
             slots[slot] = array
@@ -239,6 +261,11 @@ class CompiledModule:
         (:class:`~repro.obs.profile.KernelProfiler`), along with plan-cache
         events.  Results stay bitwise identical; see
         :meth:`kernel_report`.
+    parallel:
+        Build :class:`~repro.engine.parallel.ParallelExecutionPlan` plans:
+        independent steps of one dependency wave overlap on a shared kernel
+        thread pool.  Outputs stay bitwise identical (the per-step math and
+        the dependent-step order are unchanged).
     """
 
     def __init__(
@@ -249,12 +276,14 @@ class CompiledModule:
         validate: bool = False,
         max_plan_bytes: int | None = None,
         profile: bool = False,
+        parallel: bool = False,
     ):
         self.module = module
         self.passes = passes
         self.copy_outputs = bool(copy_outputs)
         self.validate = bool(validate)
         self.max_plan_bytes = max_plan_bytes
+        self.parallel = bool(parallel)
         self.profiler = None
         if profile:
             from ..obs.profile import KernelProfiler
@@ -339,7 +368,11 @@ class CompiledModule:
             tls.generation = self._generation
         plan = tls.plans.get(signature)
         if plan is None:
-            plan = ExecutionPlan(
+            if self.parallel:
+                from .parallel import ParallelExecutionPlan as plan_cls
+            else:
+                plan_cls = ExecutionPlan
+            plan = plan_cls(
                 self._graph_for(signature, arrays), profiler=self.profiler
             )
             tls.plans.put(signature, plan)
@@ -421,6 +454,7 @@ def compile_module(
     validate: bool = False,
     max_plan_bytes: int | None = None,
     profile: bool = False,
+    parallel: bool = False,
 ) -> CompiledModule:
     """Compile ``module`` for inference; optionally pre-trace example inputs.
 
@@ -431,7 +465,7 @@ def compile_module(
 
     compiled = CompiledModule(
         module, passes=passes, copy_outputs=copy_outputs, validate=validate,
-        max_plan_bytes=max_plan_bytes, profile=profile,
+        max_plan_bytes=max_plan_bytes, profile=profile, parallel=parallel,
     )
     if example_inputs:
         compiled.graph_for(*example_inputs)
@@ -534,6 +568,7 @@ class ModuleCache:
 def compile_solver(
     solver, cache: ModuleCache | None = None, cache_key=None,
     max_plan_bytes: int | None = None, profile: bool = False,
+    parallel: bool = False,
 ):
     """Enable the inference engine on a neural subdomain solver.
 
@@ -557,10 +592,14 @@ def compile_solver(
         compiled = cache.get_or_create(
             (id(model), cache_key),
             lambda: compile_module(
-                model, max_plan_bytes=max_plan_bytes, profile=profile
+                model, max_plan_bytes=max_plan_bytes, profile=profile,
+                parallel=parallel,
             ),
         )
     else:
-        compiled = compile_module(model, max_plan_bytes=max_plan_bytes, profile=profile)
+        compiled = compile_module(
+            model, max_plan_bytes=max_plan_bytes, profile=profile,
+            parallel=parallel,
+        )
     solver.engine = compiled
     return solver

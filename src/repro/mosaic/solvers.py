@@ -29,7 +29,23 @@ from ..fd.grid import Grid2D
 from ..fd.solve import solve_laplace_from_loop
 from ..models.base import NeuralSolver
 
-__all__ = ["SubdomainSolver", "SDNetSubdomainSolver", "FDSubdomainSolver"]
+__all__ = [
+    "SubdomainSolver",
+    "SDNetSubdomainSolver",
+    "FDSubdomainSolver",
+    "GEMM_STABLE_ROWS",
+]
+
+#: rows per internal forward chunk of :class:`SDNetSubdomainSolver`.  BLAS
+#: matmul kernels change regime with the row count (a gemv path at one row,
+#: multithreaded blocking past a few dozen), and each regime accumulates in
+#: a different order, so the same boundary row can get different low-order
+#: bits depending on how many rows share its call.  Executing every call as
+#: fixed-size chunks inside the grouping-invariant window makes a row's
+#: prediction a pure function of (row, points) — the invariant that lets
+#: cross-request mega-batching (:mod:`repro.serving.megabatch`) concatenate
+#: calls while staying bitwise identical to per-request execution.
+GEMM_STABLE_ROWS = 32
 
 
 @runtime_checkable
@@ -97,13 +113,26 @@ class SDNetSubdomainSolver:
         q = points.shape[0]
         out = np.empty((batch, q))
         step = batch if self.max_batch is None else max(int(self.max_batch), 1)
+        step = min(max(step, 1), GEMM_STABLE_ROWS)
         forward = self.model if self.engine is None else self.engine
         with no_grad():
             for start in range(0, batch, step):
                 stop = min(start + step, batch)
-                g = Tensor(boundaries[start:stop])
-                x = Tensor(np.broadcast_to(points, (stop - start, q, 2)).copy())
-                out[start:stop] = forward(g, x).data
+                rows = boundaries[start:stop]
+                # BLAS dispatches single-row matmuls to a gemv kernel whose
+                # summation order differs from the batched gemm path, so a
+                # row's bits would depend on how many rows share its call.
+                # Pad singleton chunks to two rows so every row takes the
+                # gemm path regardless of batch size -- the invariant that
+                # lets cross-request mega-batching stay bitwise identical to
+                # per-request execution.
+                padded = rows.shape[0] == 1
+                if padded:
+                    rows = np.concatenate([rows, rows], axis=0)
+                g = Tensor(rows)
+                x = Tensor(np.broadcast_to(points, (rows.shape[0], q, 2)).copy())
+                data = forward(g, x).data
+                out[start:stop] = data[:1] if padded else data
                 self.inference_calls += 1
                 self.points_evaluated += (stop - start) * q
         return out

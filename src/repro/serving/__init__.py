@@ -35,7 +35,7 @@ from .faults import (
     FaultSpec,
     InjectedFault,
 )
-from .fused import FusedBatchRunner, FusedOutcome
+from .fused import FusedBatchRunner, FusedOutcome, FusedState
 from .futures import (
     DeadlineExceededError,
     QuotaExceededError,
@@ -43,6 +43,7 @@ from .futures import (
     SolveError,
     SolveFuture,
 )
+from .megabatch import MegaBatchExecutor, MegaSession, solver_fusion_key
 from .server import Server, default_solver_factory
 from .stats import ServingStats
 from .store import AdmissionController, RequestStore, TenantQuota
@@ -60,6 +61,11 @@ __all__ = [
     "ServingEstimator",
     "FusedBatchRunner",
     "FusedOutcome",
+    "FusedState",
+    # cross-request mega-batching
+    "MegaBatchExecutor",
+    "MegaSession",
+    "solver_fusion_key",
     "Server",
     "default_solver_factory",
     "ServingStats",

@@ -51,11 +51,18 @@ class BatchPolicy:
 
 @dataclass
 class Batch:
-    """A group of fusable requests released by the batcher."""
+    """A group of fusable requests released by the batcher.
+
+    ``reason`` records *why* the batch was released: ``"size"`` (the queue
+    reached ``max_batch_size``), ``"deadline"`` (its oldest request waited
+    out ``max_wait_seconds``), ``"flush"`` (an explicit drain), or
+    ``"co_release"`` (pulled early to ride a compatible mega-batch).
+    """
 
     group_key: tuple
     requests: list[SolveRequest]
     enqueued_at: list[float] = field(default_factory=list)
+    reason: str = "size"
 
     def __len__(self) -> int:
         return len(self.requests)
@@ -115,9 +122,9 @@ class DynamicBatcher:
                     queue[self.policy.max_batch_size:],
                 )
                 queue = self._queues[key]
-                released.append(self._make_batch(key, chunk))
+                released.append(self._make_batch(key, chunk, "size"))
             if queue and now - queue[0][1] >= self.policy.max_wait_seconds:
-                released.append(self._make_batch(key, queue))
+                released.append(self._make_batch(key, queue, "deadline"))
                 self._queues[key] = []
             if not self._queues[key]:
                 del self._queues[key]
@@ -127,15 +134,37 @@ class DynamicBatcher:
         """Release every queued request regardless of size or deadline."""
 
         released = [
-            self._make_batch(key, queue) for key, queue in self._queues.items() if queue
+            self._make_batch(key, queue, "flush")
+            for key, queue in self._queues.items()
+            if queue
+        ]
+        self._queues.clear()
+        return released
+
+    def take_all(self) -> list[Batch]:
+        """Release every queued request to ride a compatible mega-batch.
+
+        Identical to :meth:`flush` except for the recorded release reason;
+        the server calls this on batchers whose queued requests can fuse
+        with a batch that was just released by size or deadline, so partial
+        queues do not sit out a mega run they could have joined.
+        """
+
+        released = [
+            self._make_batch(key, queue, "co_release")
+            for key, queue in self._queues.items()
+            if queue
         ]
         self._queues.clear()
         return released
 
     @staticmethod
-    def _make_batch(key: tuple, entries: list[tuple[SolveRequest, float]]) -> Batch:
+    def _make_batch(
+        key: tuple, entries: list[tuple[SolveRequest, float]], reason: str
+    ) -> Batch:
         return Batch(
             group_key=key,
             requests=[request for request, _ in entries],
             enqueued_at=[stamp for _, stamp in entries],
+            reason=reason,
         )

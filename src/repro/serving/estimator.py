@@ -96,6 +96,32 @@ class ServingEstimator:
 
     # -- policy -------------------------------------------------------------------
 
+    def recommend_mega_rows(
+        self,
+        boundary_size: int,
+        q_points: int,
+        latency_budget_seconds: float | None = None,
+    ) -> int:
+        """Largest fused-call row count for cross-request mega-batching.
+
+        Mega-batches concatenate the pending rows of many request batches
+        into one solver call, so the cap is per *call* (subdomain rows), not
+        per request: the memory-feasible maximum
+        (:meth:`max_subdomains_per_call`), halved while
+        :meth:`call_latency` exceeds the optional latency budget.  The
+        serving layer asks once per distinct query-point count (center-line
+        rows and interior rows have very different footprints).
+        """
+
+        rows = self.max_subdomains_per_call(boundary_size, q_points)
+        if latency_budget_seconds is not None:
+            while rows > 1 and (
+                self.call_latency(rows, boundary_size, q_points)
+                > latency_budget_seconds
+            ):
+                rows //= 2
+        return max(1, rows)
+
     def recommend_batch_size(
         self,
         geometry: MosaicGeometry,

@@ -16,6 +16,21 @@ exactly the same phase sequence, its convergence is checked on the same
 cadence with its own tolerance, and once it converges (or exhausts its own
 iteration budget) its field is frozen and it simply stops contributing rows
 to the fused calls.  The final dense assembly is fused the same way.
+
+Generator core
+--------------
+The runner's solver traffic is factored into two *generators* —
+:meth:`~FusedBatchRunner.iterate_calls` and
+:meth:`~FusedBatchRunner.assembly_calls` — that yield ``(boundaries, points)``
+solver calls and receive the predictions back through ``send()``.  Driving
+both generators sequentially against ``self.solver`` (what :meth:`run` does)
+reproduces the classic fused run exactly.  Driving several runners' generators
+*in lockstep* and concatenating their pending rows into one solver call is
+cross-request mega-batching (:mod:`repro.serving.megabatch`): each runner
+still sees exactly the rows and predictions of its sequential run, so results
+are bitwise identical.  The generators deliberately hold no tracing spans
+open across yields — interleaved generators on one thread would otherwise
+corrupt the tracer's per-thread span stack — spans belong to the drivers.
 """
 
 from __future__ import annotations
@@ -30,7 +45,7 @@ from ..mosaic.predictor import initialize_lattice_field
 from ..mosaic.solvers import SubdomainSolver
 from ..obs.trace import span
 
-__all__ = ["FusedOutcome", "FusedBatchRunner"]
+__all__ = ["FusedOutcome", "FusedBatchRunner", "FusedState", "drive"]
 
 
 @dataclass
@@ -42,6 +57,46 @@ class FusedOutcome:
     iterations: int
     converged: bool
     deltas: list = field(default_factory=list)
+
+
+@dataclass
+class FusedState:
+    """Mutable per-batch state threaded through the runner's generators.
+
+    Built by :meth:`FusedBatchRunner.begin`; consumed by
+    :meth:`~FusedBatchRunner.iterate_calls`,
+    :meth:`~FusedBatchRunner.assembly_calls` and
+    :meth:`~FusedBatchRunner.outcomes`.  One state per batch per attempt —
+    a partially-driven state is not restartable.
+    """
+
+    loops: np.ndarray
+    tols: np.ndarray
+    budgets: np.ndarray
+    fields: np.ndarray
+    previous: np.ndarray
+    active: np.ndarray
+    iterations: np.ndarray
+    converged: np.ndarray
+    deltas: list
+    num_requests: int
+    solutions: list | None = None
+
+
+def drive(generator, solver) -> None:
+    """Run one call generator to exhaustion against ``solver``.
+
+    The sequential driver: every yielded ``(boundaries, points)`` call is
+    answered immediately by ``solver.predict``.  This is the oracle execution
+    order that mega-batching must (and does) reproduce per runner.
+    """
+
+    try:
+        boundaries, points = next(generator)
+        while True:
+            boundaries, points = generator.send(solver.predict(boundaries, points))
+    except StopIteration:
+        pass
 
 
 class FusedBatchRunner:
@@ -127,19 +182,15 @@ class FusedBatchRunner:
         #: total subdomain solves carried by those calls
         self.subdomains_solved = 0
 
-    # -- iteration ---------------------------------------------------------------
+    # -- state construction ------------------------------------------------------
 
-    def run(
+    def begin(
         self,
         boundary_loops: np.ndarray,
         tols: np.ndarray | float = 1e-6,
         max_iterations: np.ndarray | int = 400,
-    ) -> list[FusedOutcome]:
-        """Solve every request of the batch; returns per-request outcomes.
-
-        ``tols`` and ``max_iterations`` may be scalars (shared) or per-request
-        vectors — per-request values do not break fusion.
-        """
+    ) -> FusedState:
+        """Validate inputs and initialize the per-batch iteration state."""
 
         geometry = self.geometry
         loops = np.asarray(boundary_loops, dtype=float)
@@ -162,80 +213,123 @@ class FusedBatchRunner:
                 for i in range(num_requests)
             ]
         )
-        mask = self._lattice_mask
-        previous = fields[:, mask].copy()
-        active = np.ones(num_requests, dtype=bool)
-        iterations = np.zeros(num_requests, dtype=int)
-        converged = np.zeros(num_requests, dtype=bool)
-        deltas: list[list[float]] = [[] for _ in range(num_requests)]
+        return FusedState(
+            loops=loops,
+            tols=tols,
+            budgets=budgets,
+            fields=fields,
+            previous=fields[:, self._lattice_mask].copy(),
+            active=np.ones(num_requests, dtype=bool),
+            iterations=np.zeros(num_requests, dtype=int),
+            converged=np.zeros(num_requests, dtype=bool),
+            deltas=[[] for _ in range(num_requests)],
+            num_requests=num_requests,
+        )
 
-        with span("fused.iterate", requests=num_requests) as iterate_span:
-            for iteration in range(1, int(budgets.max()) + 1):
-                if not active.any():
-                    break
-                phase = (iteration - 1) % len(PHASE_OFFSETS)
-                idx = np.nonzero(active)[0]
-                read_r, read_c = self._phase_reads[phase]
-                if read_r.size:
-                    stacked = fields[idx[:, None, None], read_r[None], read_c[None]]
-                    batch, subs, loop_len = stacked.shape
-                    predictions = self.solver.predict(
-                        stacked.reshape(batch * subs, loop_len), self._center_coords
-                    ).reshape(batch, subs, -1)
-                    self.predict_calls += 1
-                    self.subdomains_solved += batch * subs
-                    write_r, write_c = self._phase_writes[phase]
-                    fields[idx[:, None, None], write_r[None], write_c[None]] = predictions
-                iterations[idx] = iteration
+    # -- iteration ---------------------------------------------------------------
 
-                if iteration % self.check_interval == 0:
-                    current = fields[idx][:, mask]
-                    diff = np.linalg.norm(current - previous[idx], axis=1)
-                    denom = np.linalg.norm(previous[idx], axis=1)
-                    denom = np.where(denom > 0, denom, 1.0)
-                    step_deltas = diff / denom
-                    previous[idx] = current
-                    for pos, i in enumerate(idx):
-                        deltas[i].append(float(step_deltas[pos]))
-                    window_active = any(
-                        self._phase_has_anchors[(it - 1) % len(PHASE_OFFSETS)]
-                        for it in range(iteration - self.check_interval + 1, iteration + 1)
-                    )
-                    if iteration >= len(PHASE_OFFSETS) and window_active:
-                        newly = idx[step_deltas < tols[idx]]
-                        converged[newly] = True
-                        active[newly] = False
-                active &= iterations < budgets
-            iterate_span.set_attr("iterations", int(iterations.max(initial=0)))
+    def run(
+        self,
+        boundary_loops: np.ndarray,
+        tols: np.ndarray | float = 1e-6,
+        max_iterations: np.ndarray | int = 400,
+    ) -> list[FusedOutcome]:
+        """Solve every request of the batch; returns per-request outcomes.
 
-        solutions = self._assemble(fields, loops)
+        ``tols`` and ``max_iterations`` may be scalars (shared) or per-request
+        vectors — per-request values do not break fusion.
+        """
+
+        state = self.begin(boundary_loops, tols, max_iterations)
+        with span("fused.iterate", requests=state.num_requests) as iterate_span:
+            drive(self.iterate_calls(state), self.solver)
+            iterate_span.set_attr("iterations", int(state.iterations.max(initial=0)))
+        with span("fused.assembly", requests=state.num_requests):
+            drive(self.assembly_calls(state), self.solver)
+        return self.outcomes(state)
+
+    def iterate_calls(self, state: FusedState):
+        """Generator of the lattice-iteration solver calls of one batch.
+
+        Yields ``(boundaries, points)`` for each fused call and expects the
+        ``(rows, q)`` prediction array back through ``send()``.  Iterations
+        whose phase has no anchors issue no call.
+        """
+
+        fields, tols, budgets = state.fields, state.tols, state.budgets
+        previous, active = state.previous, state.active
+        iterations, converged = state.iterations, state.converged
+        deltas, mask = state.deltas, self._lattice_mask
+        for iteration in range(1, int(budgets.max()) + 1):
+            if not active.any():
+                break
+            phase = (iteration - 1) % len(PHASE_OFFSETS)
+            idx = np.nonzero(active)[0]
+            read_r, read_c = self._phase_reads[phase]
+            if read_r.size:
+                stacked = fields[idx[:, None, None], read_r[None], read_c[None]]
+                batch, subs, loop_len = stacked.shape
+                predictions = yield (
+                    stacked.reshape(batch * subs, loop_len), self._center_coords
+                )
+                predictions = predictions.reshape(batch, subs, -1)
+                self.predict_calls += 1
+                self.subdomains_solved += batch * subs
+                write_r, write_c = self._phase_writes[phase]
+                fields[idx[:, None, None], write_r[None], write_c[None]] = predictions
+            iterations[idx] = iteration
+
+            if iteration % self.check_interval == 0:
+                current = fields[idx][:, mask]
+                diff = np.linalg.norm(current - previous[idx], axis=1)
+                denom = np.linalg.norm(previous[idx], axis=1)
+                denom = np.where(denom > 0, denom, 1.0)
+                step_deltas = diff / denom
+                previous[idx] = current
+                for pos, i in enumerate(idx):
+                    deltas[i].append(float(step_deltas[pos]))
+                window_active = any(
+                    self._phase_has_anchors[(it - 1) % len(PHASE_OFFSETS)]
+                    for it in range(iteration - self.check_interval + 1, iteration + 1)
+                )
+                if iteration >= len(PHASE_OFFSETS) and window_active:
+                    newly = idx[step_deltas < tols[idx]]
+                    converged[newly] = True
+                    active[newly] = False
+            active &= iterations < budgets
+
+    def outcomes(self, state: FusedState) -> list[FusedOutcome]:
+        """Package a fully-driven state into per-request outcomes."""
+
+        if state.solutions is None:
+            raise RuntimeError(
+                "assembly_calls has not been driven to completion for this state"
+            )
         return [
             FusedOutcome(
-                solution=solutions[i],
-                lattice_field=fields[i],
-                iterations=int(iterations[i]),
-                converged=bool(converged[i]),
-                deltas=deltas[i],
+                solution=state.solutions[i],
+                lattice_field=state.fields[i],
+                iterations=int(state.iterations[i]),
+                converged=bool(state.converged[i]),
+                deltas=state.deltas[i],
             )
-            for i in range(num_requests)
+            for i in range(state.num_requests)
         ]
 
     # -- fused dense assembly ----------------------------------------------------
 
-    def _assemble(self, fields: np.ndarray, loops: np.ndarray) -> list[np.ndarray]:
-        """Dense assembly of every request, fusing anchor chunks across requests.
+    def assembly_calls(self, state: FusedState):
+        """Generator of the dense-assembly solver calls of one batch.
 
         Mirrors :func:`~repro.mosaic.assembly.accumulate_dense_predictions`
         per request (same anchor order, same chunking, same accumulation), so
         results match ``assemble_solution`` for each request individually.
+        Fills ``state.solutions`` on completion.
         """
 
-        with span("fused.assembly", requests=int(fields.shape[0])):
-            return self._assemble_impl(fields, loops)
-
-    def _assemble_impl(self, fields: np.ndarray, loops: np.ndarray) -> list[np.ndarray]:
         geometry = self.geometry
-        num_requests = fields.shape[0]
+        fields, loops = state.fields, state.loops
+        num_requests = state.num_requests
         accumulator = np.zeros_like(fields)
         # The contribution counts depend only on the geometry (how many
         # subdomains cover each grid point), so one count field serves every
@@ -259,9 +353,10 @@ class FusedBatchRunner:
             cols_i = c0[:, None] + icol[None, :]
             stacked = fields[:, rows_b, cols_b]
             batch, subs, loop_len = stacked.shape
-            predictions = self.solver.predict(
+            predictions = yield (
                 stacked.reshape(batch * subs, loop_len), interior_coords
-            ).reshape(batch, subs, -1)
+            )
+            predictions = predictions.reshape(batch, subs, -1)
             self.predict_calls += 1
             self.subdomains_solved += batch * subs
             np.add.at(accumulator, (batch_index, rows_i[None], cols_i[None]), predictions)
@@ -269,7 +364,7 @@ class FusedBatchRunner:
             np.add.at(counts, (rows_i, cols_i), 1.0)
             np.add.at(counts, (rows_b, cols_b), 1.0)
 
-        return [
+        state.solutions = [
             geometry.insert_global_boundary(
                 loops[i], overlap_average(accumulator[i], counts)
             )

@@ -43,6 +43,7 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -53,18 +54,53 @@ from .api import SolveRequest, SolveResult
 from .batcher import Batch, BatchPolicy, DynamicBatcher
 from .cache import CachedSolution, SolutionCache
 from .estimator import ServingEstimator
-from .faults import BATCH_ASSEMBLY, DUPLICATE, STORE_DELIVER, FaultInjector
+from .faults import (
+    BATCH_ASSEMBLY,
+    DUPLICATE,
+    STORE_DELIVER,
+    WORKER_SOLVE,
+    FaultInjector,
+)
+from .fused import FusedBatchRunner
 from .futures import (
     DeadlineExceededError,
     QuotaExceededError,
     RetryExhaustedError,
     SolveFuture,
 )
+from .megabatch import MegaBatchExecutor, MegaSession, solver_fusion_key
 from .stats import ServingStats
 from .store import AdmissionController, RequestStore, TenantQuota, Waiter
 from .workers import WorkerPool
 
 __all__ = ["Server", "default_solver_factory"]
+
+_UNSET = object()
+
+
+@dataclass
+class _PreparedBatch:
+    """One batch after expiry filtering and in-batch dedup, ready to solve."""
+
+    batch: Batch
+    live: list
+    solve_requests: list
+    assignment: list
+    loops: np.ndarray
+    tols: np.ndarray
+    budgets: np.ndarray
+
+    @property
+    def geometry(self):
+        return self.batch.group_key[0]
+
+    @property
+    def init_mode(self) -> str:
+        return self.batch.group_key[1]
+
+    @property
+    def check_interval(self) -> int:
+        return self.batch.group_key[2]
 
 
 def default_solver_factory(geometry: MosaicGeometry) -> FDSubdomainSolver:
@@ -134,6 +170,22 @@ class Server:
         enables :meth:`start`, which spawns the background dispatcher and
         the pool; ``submit_async`` then never executes solves on the
         caller's thread.
+    mega_batch:
+        Cross-request anchor-level mega-batching (default on).  When
+        several batches are ready at once and their geometry groups are
+        fusion-compatible — same subdomain grid, equivalent solver
+        (:func:`~repro.serving.megabatch.solver_fusion_key`) — their
+        per-iteration anchor rows are concatenated into single solver calls
+        sized by the perfmodel
+        (:meth:`~repro.serving.estimator.ServingEstimator.recommend_mega_rows`)
+        and results are scattered back per request, bitwise-identical to the
+        per-batch path.  Compatible groups with queued requests are
+        co-released to ride a mega run instead of waiting out their own
+        deadline.  ``False`` restores strict per-group execution.
+    engine_parallel:
+        Execute independent regions of compiled engine plans on a shared
+        thread pool (:class:`repro.engine.ParallelExecutionPlan`); only
+        meaningful with ``engine=True``.  Results stay bitwise identical.
 
     Observability
     -------------
@@ -171,6 +223,8 @@ class Server:
         sleep=time.sleep,
         async_workers: int = 0,
         poll_interval_seconds: float = 0.01,
+        mega_batch: bool = True,
+        engine_parallel: bool = False,
     ):
         self.solver_factory = solver_factory
         self.policy = policy or BatchPolicy()
@@ -215,10 +269,17 @@ class Server:
         self.async_workers = int(async_workers)
         self.poll_interval_seconds = float(poll_interval_seconds)
 
+        self.mega_batch = bool(mega_batch)
+        self.engine_parallel = bool(engine_parallel)
+
         self._lock = threading.RLock()
         self._work_done = threading.Condition(self._lock)
         self._batchers: dict[tuple, DynamicBatcher] = {}
         self._pools: dict[tuple, WorkerPool] = {}
+        # group_key -> mega compatibility key (None: never cross-fuses), and
+        # compat key -> the shared solver answering that key's mega runs.
+        self._compat_keys: dict[tuple, tuple | None] = {}
+        self._mega_solvers: dict[tuple, object] = {}
         self._completed: dict[str, SolveResult] = {}
         self._futures: dict[str, SolveFuture] = {}
         self._inflight_ids: set[str] = set()
@@ -405,11 +466,11 @@ class Server:
 
         while True:
             with self._lock:
-                batches = self._take_ready()
-            if not batches:
+                groups = self._mega_groups(self._take_ready())
+            if not groups:
                 return
-            for batch in batches:
-                self._run_batch(batch)
+            for batches, compat_key in groups:
+                self._run_group(batches, compat_key)
 
     def drain(self) -> dict[str, SolveResult]:
         """Flush and execute every queued request; return completed results.
@@ -484,18 +545,83 @@ class Server:
         # `pending` and `_wait_idle` never observe a gap.
         for batcher in self._batchers.values():
             self._ready.extend(batcher.poll())
+        if self.mega_batch and self._ready:
+            self._co_release_locked()
         batches = list(self._ready)
         self._ready.clear()
         self._inflight_requests += sum(len(batch) for batch in batches)
         return batches
 
+    def _co_release_locked(self) -> None:
+        # Caller holds self._lock.  Queued requests whose group can fuse with
+        # a batch that was just released ride its mega run instead of sitting
+        # out their own size/deadline trigger.
+        ready_keys = {self._compat_key(batch.group_key) for batch in self._ready}
+        ready_keys.discard(None)
+        if not ready_keys:
+            return
+        for group_key, batcher in self._batchers.items():
+            if batcher.queue_depth == 0:
+                continue
+            if self._compat_key(group_key) in ready_keys:
+                self._ready.extend(batcher.take_all())
+
+    def _mega_groups(
+        self, batches: list[Batch]
+    ) -> list[tuple[list[Batch], tuple | None]]:
+        """Partition ready batches into fusion groups (order-preserving).
+
+        Each returned ``(batches, compat_key)`` either runs classically (a
+        single batch, or ``compat_key is None``) or as one mega run.
+        """
+
+        if not self.mega_batch or len(batches) <= 1:
+            return [([batch], None) for batch in batches]
+        with self._lock:
+            keys = [self._compat_key(batch.group_key) for batch in batches]
+        groups: list[tuple[list[Batch], tuple | None]] = []
+        by_key: dict[tuple, list[Batch]] = {}
+        for batch, key in zip(batches, keys):
+            if key is None:
+                groups.append(([batch], None))
+                continue
+            bucket = by_key.get(key)
+            if bucket is None:
+                bucket = by_key[key] = [batch]
+                groups.append((bucket, key))
+            else:
+                bucket.append(batch)
+        return groups
+
+    def _compat_key(self, group_key: tuple) -> tuple | None:
+        # Caller holds self._lock.  Mega compatibility of a geometry group:
+        # the subdomain grid parameters plus the solver fusion key — two
+        # groups with equal keys issue solver calls with identical query
+        # coordinates and an equivalent solver, so their rows concatenate.
+        cached = self._compat_keys.get(group_key, _UNSET)
+        if cached is not _UNSET:
+            return cached
+        geometry = group_key[0]
+        key = None
+        try:
+            solver = self._engine_solver_factory(geometry)(geometry)
+            fusion = solver_fusion_key(solver)
+        except Exception:
+            solver, fusion = None, None
+        if fusion is not None:
+            grid = geometry.subdomain_grid()
+            key = (grid.nx, grid.ny, tuple(grid.extent), fusion)
+            self._mega_solvers.setdefault(key, solver)
+        self._compat_keys[group_key] = key
+        return key
+
     def _dispatch_loop(self) -> None:
         while not self._stop_event.is_set():
             with self._lock:
-                batches = self._take_ready()
-            if batches:
-                for batch in batches:
-                    self._executor.submit(self._run_batch, batch)
+                groups = self._mega_groups(self._take_ready())
+            if groups:
+                for batches, compat_key in groups:
+                    self._executor.submit(self._run_group, batches, compat_key)
                 continue
             timeout = self.poll_interval_seconds
             with self._lock:
@@ -509,23 +635,28 @@ class Server:
             self._wake.clear()
         # Final sweep so close() never strands released batches.
         with self._lock:
-            batches = self._take_ready()
-        for batch in batches:
-            self._executor.submit(self._run_batch, batch)
+            groups = self._mega_groups(self._take_ready())
+        for batches, compat_key in groups:
+            self._executor.submit(self._run_group, batches, compat_key)
 
-    def _run_batch(self, batch: Batch) -> None:
+    def _run_group(self, batches: list[Batch], compat_key: tuple | None) -> None:
         try:
-            self._execute(batch)
+            if compat_key is None or len(batches) == 1:
+                for batch in batches:
+                    self._execute(batch)
+            else:
+                self._execute_mega(batches, compat_key)
         except Exception as exc:
-            # _execute handles solver failures itself; anything escaping here
-            # (assembly faults, bugs) must still resolve the batch's waiters.
+            # _execute* handle solver failures themselves; anything escaping
+            # here (assembly faults, bugs) must still resolve the waiters.
             error = RetryExhaustedError(f"batch execution failed: {exc!r}", attempts=1)
             error.__cause__ = exc
             self.stats.record_failure()
-            self._fail_requests(batch.requests, error)
+            for batch in batches:
+                self._fail_requests(batch.requests, error)
         finally:
             with self._lock:
-                self._inflight_requests -= len(batch)
+                self._inflight_requests -= sum(len(batch) for batch in batches)
                 self._work_done.notify_all()
 
     def _wait_idle(self, timeout: float | None = None) -> bool:
@@ -596,6 +727,7 @@ class Server:
 
         max_plan_bytes = self.engine_max_plan_bytes
         profile = self.engine_profile
+        parallel = self.engine_parallel
 
         def factory(geom):
             from ..engine import compile_solver
@@ -603,6 +735,7 @@ class Server:
             return compile_solver(
                 base(geom), cache=modules, cache_key=geometry,
                 max_plan_bytes=max_plan_bytes, profile=profile,
+                parallel=parallel,
             )
 
         return factory
@@ -621,121 +754,302 @@ class Server:
         return profiler.report(n)
 
     def _execute(self, batch: Batch) -> None:
-        requests = batch.requests
-        with span("serving.batch", size=len(requests)) as batch_span:
-            now = self.clock()
-            for enqueued in batch.enqueued_at:
-                self.stats.record_queue_wait(now - enqueued)
-
-            # Deadline fail-fast: a request all of whose waiters have expired
-            # is failed here instead of occupying solver capacity.
-            live: list[SolveRequest] = []
-            for request in requests:
-                expired = self.store.expire(request, now)
-                if expired is None:
-                    live.append(request)
-                    continue
-                for waiter in expired:
-                    self._reject_waiter(
-                        waiter,
-                        DeadlineExceededError(
-                            f"request {waiter.request.request_id!r} missed its "
-                            f"{waiter.request.deadline_seconds}s deadline "
-                            f"before dispatch"
-                        ),
-                    )
-            if not live:
-                batch_span.set_attr("expired", len(requests))
+        with span("serving.batch", size=len(batch)) as batch_span:
+            prepared = self._prepare(batch, batch_span)
+            if prepared is None:
                 return
-
-            with span("serving.batch_assembly"):
-                if self.faults is not None:
-                    self.faults.fire(BATCH_ASSEMBLY, size=len(live))
-                # Deduplicate within the batch on the cache key, so identical
-                # (or near-identical) concurrent requests are solved once.
-                if self.cache is not None:
-                    unique: dict[tuple, int] = {}
-                    assignment = []
-                    for request in live:
-                        key = self.cache.key_for(request)
-                        if key not in unique:
-                            unique[key] = len(unique)
-                        else:
-                            self.stats.record_dedup_hit()
-                        assignment.append(unique[key])
-                    solve_requests = [None] * len(unique)
-                    for request, slot in zip(live, assignment):
-                        if solve_requests[slot] is None:
-                            solve_requests[slot] = request
-                else:
-                    solve_requests = list(live)
-                    assignment = list(range(len(live)))
-
-                pool = self._pool_for(live[0])
-                loops = np.stack([r.boundary_loop for r in solve_requests])
-                tols = np.array([r.tol for r in solve_requests])
-                budgets = np.array([r.max_iterations for r in solve_requests])
-
-            outcomes = self._solve_with_retries(
-                pool, live, solve_requests, loops, tols, budgets, batch_span
-            )
+            pool = self._pool_for(prepared.live[0])
+            outcomes = self._solve_with_retries(pool, prepared, batch_span)
             if outcomes is None:
-                return  # retries exhausted; waiters already rejected
-            self.stats.record_fused_run(len(solve_requests))
-            batch_span.set_attr("unique", len(solve_requests))
-
+                return  # waiters already resolved (failed or expired)
+            self.stats.record_fused_run(len(prepared.solve_requests))
+            batch_span.set_attr("unique", len(prepared.solve_requests))
             with span("serving.postprocess"):
-                for request, slot in zip(live, assignment):
-                    outcome = outcomes[slot]
-                    entry = CachedSolution(
-                        solution=outcome.solution,
-                        iterations=outcome.iterations,
-                        converged=outcome.converged,
-                        deltas=outcome.deltas,
-                    )
-                    if self.cache is not None:
-                        self.cache.put(request, entry)
-                    deliveries = 1
-                    if self.faults is not None:
-                        spec = self.faults.fire(
-                            STORE_DELIVER, request_id=request.request_id
-                        )
-                        if spec is not None and spec.kind == DUPLICATE:
-                            deliveries = 2  # at-least-once delivery, injected
-                    waiters = []
-                    for _ in range(deliveries):
-                        # The store's upsert is idempotent: a redelivery
-                        # returns no waiters and only bumps its counter.
-                        waiters.extend(self.store.fulfill(request, entry))
-                    for waiter in waiters:
-                        self._finish_waiter(
-                            waiter, entry, cache_hit=False,
-                            batch_size=len(solve_requests),
-                        )
+                self._postprocess(prepared, outcomes)
 
-    def _solve_with_retries(
-        self, pool, live, solve_requests, loops, tols, budgets, batch_span
-    ):
+    def _prepare(self, batch: Batch, batch_span) -> _PreparedBatch | None:
+        """Expiry-filter and dedup one batch; ``None`` when nothing is live.
+
+        Queue waits are recorded for live requests only — an expired request
+        never reaches the solver, and counting its wait would skew the
+        distribution the batcher is tuned against.
+        """
+
+        now = self.clock()
+        # Deadline fail-fast: a request all of whose waiters have expired is
+        # failed here instead of occupying solver capacity.
+        live: list[SolveRequest] = []
+        for request, enqueued in zip(batch.requests, batch.enqueued_at):
+            expired = self.store.expire(request, now)
+            if expired is None:
+                live.append(request)
+                self.stats.record_queue_wait(now - enqueued)
+                continue
+            for waiter in expired:
+                self._reject_waiter(
+                    waiter,
+                    DeadlineExceededError(
+                        f"request {waiter.request.request_id!r} missed its "
+                        f"{waiter.request.deadline_seconds}s deadline "
+                        f"before dispatch"
+                    ),
+                )
+        if not live:
+            batch_span.set_attr("expired", len(batch.requests))
+            return None
+
+        with span("serving.batch_assembly"):
+            if self.faults is not None:
+                self.faults.fire(BATCH_ASSEMBLY, size=len(live))
+            solve_requests, assignment = self._dedup(live)
+            loops = np.stack([r.boundary_loop for r in solve_requests])
+            tols = np.array([r.tol for r in solve_requests])
+            budgets = np.array([r.max_iterations for r in solve_requests])
+        return _PreparedBatch(
+            batch=batch, live=live, solve_requests=solve_requests,
+            assignment=assignment, loops=loops, tols=tols, budgets=budgets,
+        )
+
+    def _dedup(self, live: list, record: bool = True) -> tuple[list, list]:
+        """In-batch dedup on the cache key: identical BVPs are solved once.
+
+        ``record=False`` recomputes the mapping without re-counting dedup
+        hits (used when the live set shrinks during retry backoff).
+        """
+
+        if self.cache is None:
+            return list(live), list(range(len(live)))
+        unique: dict[tuple, int] = {}
+        assignment = []
+        for request in live:
+            key = self.cache.key_for(request)
+            if key not in unique:
+                unique[key] = len(unique)
+            elif record:
+                self.stats.record_dedup_hit()
+            assignment.append(unique[key])
+        solve_requests = [None] * len(unique)
+        for request, slot in zip(live, assignment):
+            if solve_requests[slot] is None:
+                solve_requests[slot] = request
+        return solve_requests, assignment
+
+    def _refresh_expired(self, prepared: _PreparedBatch) -> bool:
+        """Re-run deadline fail-fast between retry attempts (post-backoff).
+
+        Backoff can outlast a waiter's deadline; without this re-check the
+        next attempt would solve for — and only then reject — requests that
+        were already dead when the attempt started.  Expired waiters are
+        rejected immediately; the solve arrays are rebuilt over the
+        survivors.  Returns ``False`` when nothing is left to solve.
+        """
+
+        now = self.clock()
+        live: list[SolveRequest] = []
+        dropped = False
+        for request in prepared.live:
+            expired = self.store.expire(request, now)
+            if expired is None:
+                live.append(request)
+                continue
+            dropped = True
+            for waiter in expired:
+                self._reject_waiter(
+                    waiter,
+                    DeadlineExceededError(
+                        f"request {waiter.request.request_id!r} missed its "
+                        f"{waiter.request.deadline_seconds}s deadline "
+                        f"during retry backoff"
+                    ),
+                )
+        if not dropped:
+            return True
+        prepared.live = live
+        if not live:
+            return False
+        solve_requests, assignment = self._dedup(live, record=False)
+        prepared.solve_requests = solve_requests
+        prepared.assignment = assignment
+        prepared.loops = np.stack([r.boundary_loop for r in solve_requests])
+        prepared.tols = np.array([r.tol for r in solve_requests])
+        prepared.budgets = np.array([r.max_iterations for r in solve_requests])
+        return True
+
+    def _solve_with_retries(self, pool, prepared: _PreparedBatch, batch_span):
         """Run the fused solve with capped exponential backoff retries.
 
-        Returns the outcomes, or ``None`` after failing every waiter with
-        :class:`RetryExhaustedError` once the retry budget is spent.
+        Returns the outcomes, or ``None`` when the batch resolved without
+        one — retries exhausted (every waiter failed with
+        :class:`RetryExhaustedError`), or every remaining waiter expired
+        during backoff.  Deadline fail-fast re-runs after every backoff
+        sleep, so an attempt never solves for already-expired requests.
         """
 
         attempts = 0
         while True:
             try:
                 with span(
-                    "serving.fused_solve", unique=len(solve_requests), attempt=attempts
+                    "serving.fused_solve",
+                    unique=len(prepared.solve_requests),
+                    attempt=attempts,
                 ):
-                    return pool.solve(loops, tols, budgets)
+                    return pool.solve(prepared.loops, prepared.tols, prepared.budgets)
+            except Exception as exc:
+                attempts += 1
+                for request in prepared.live:
+                    self.store.record_attempt(request)
+                if attempts > self.max_retries:
+                    self.stats.record_failure()
+                    batch_span.set_attr("failed", type(exc).__name__)
+                    error = RetryExhaustedError(
+                        f"fused solve failed after {attempts} attempt(s); "
+                        f"last error: {exc!r}",
+                        attempts=attempts,
+                    )
+                    error.__cause__ = exc
+                    self._fail_requests(prepared.live, error)
+                    return None
+                self.stats.record_retry()
+                backoff = min(
+                    self.retry_backoff_seconds * (2 ** (attempts - 1)),
+                    self.retry_backoff_cap,
+                )
+                with span(
+                    "serving.retry",
+                    attempt=attempts,
+                    backoff_seconds=backoff,
+                    error=type(exc).__name__,
+                ):
+                    if backoff > 0:
+                        self._sleep(backoff)
+                if not self._refresh_expired(prepared):
+                    batch_span.set_attr("expired_in_backoff", True)
+                    return None
+
+    def _postprocess(self, prepared: _PreparedBatch, outcomes) -> None:
+        batch_size = len(prepared.solve_requests)
+        for request, slot in zip(prepared.live, prepared.assignment):
+            outcome = outcomes[slot]
+            entry = CachedSolution(
+                solution=outcome.solution,
+                iterations=outcome.iterations,
+                converged=outcome.converged,
+                deltas=outcome.deltas,
+            )
+            if self.cache is not None:
+                self.cache.put(request, entry)
+            deliveries = 1
+            if self.faults is not None:
+                spec = self.faults.fire(STORE_DELIVER, request_id=request.request_id)
+                if spec is not None and spec.kind == DUPLICATE:
+                    deliveries = 2  # at-least-once delivery, injected
+            waiters = []
+            for _ in range(deliveries):
+                # The store's upsert is idempotent: a redelivery returns no
+                # waiters and only bumps its counter.
+                waiters.extend(self.store.fulfill(request, entry))
+            for waiter in waiters:
+                self._finish_waiter(
+                    waiter, entry, cache_hit=False, batch_size=batch_size
+                )
+
+    # -- mega-batch execution ------------------------------------------------------
+
+    def _execute_mega(self, group: list[Batch], compat_key: tuple) -> None:
+        """Run several fusion-compatible batches as one mega-batch.
+
+        Each batch keeps its own expiry filter, dedup, fused-run accounting
+        and postprocess — only the solver calls are shared, so results are
+        bitwise-identical to running the batches one by one.
+        """
+
+        total = sum(len(batch) for batch in group)
+        with span("serving.mega_batch", batches=len(group), size=total) as mega_span:
+            prepared: list[_PreparedBatch] = []
+            for batch in group:
+                with span("serving.batch", size=len(batch), mega=True) as batch_span:
+                    try:
+                        p = self._prepare(batch, batch_span)
+                    except Exception as exc:
+                        # An assembly fault in one batch must not take down
+                        # the whole mega run.
+                        error = RetryExhaustedError(
+                            f"batch execution failed: {exc!r}", attempts=1
+                        )
+                        error.__cause__ = exc
+                        self.stats.record_failure()
+                        self._fail_requests(batch.requests, error)
+                        continue
+                    if p is not None:
+                        prepared.append(p)
+            if not prepared:
+                mega_span.set_attr("expired", total)
+                return
+            results = self._solve_mega_with_retries(compat_key, prepared, mega_span)
+            if results is None:
+                return  # waiters already resolved (failed or expired)
+            prepared, outcomes = results
+            for p, outs in zip(prepared, outcomes):
+                self.stats.record_fused_run(len(p.solve_requests))
+                with span("serving.postprocess"):
+                    self._postprocess(p, outs)
+            self.stats.record_mega_run(len(prepared))
+
+    def _solve_mega_with_retries(
+        self, compat_key: tuple, prepared: list[_PreparedBatch], mega_span
+    ):
+        """Run one mega solve with retries; returns aligned (prepared, outcomes).
+
+        Mirrors :meth:`_solve_with_retries`: capped exponential backoff, a
+        shared retry budget for the whole mega run, and a deadline re-check
+        after every backoff sleep (batches whose waiters all expired drop
+        out of subsequent attempts).  Fresh sessions are built per attempt —
+        iteration state is never reused across a failed solve.
+        """
+
+        solver = self._mega_solvers[compat_key]
+        attempts = 0
+        while True:
+            live = [request for p in prepared for request in p.live]
+            try:
+                with span(
+                    "serving.fused_solve",
+                    unique=sum(len(p.solve_requests) for p in prepared),
+                    batches=len(prepared),
+                    attempt=attempts,
+                ):
+                    if self.faults is not None:
+                        self.faults.fire(WORKER_SOLVE, rank=0)
+                    sessions = [
+                        MegaSession.begin(
+                            FusedBatchRunner(
+                                p.geometry,
+                                solver,
+                                init_mode=p.init_mode,
+                                check_interval=p.check_interval,
+                            ),
+                            p.loops,
+                            p.tols,
+                            p.budgets,
+                        )
+                        for p in prepared
+                    ]
+                    executor = MegaBatchExecutor(
+                        solver,
+                        max_rows_for=self._mega_max_rows_for(prepared),
+                        on_call=self.stats.record_mega_call,
+                    )
+                    outcomes = executor.run(sessions)
+                    mega_span.set_attr("solver_calls", executor.calls)
+                    mega_span.set_attr("solver_rows", executor.rows)
+                    return prepared, outcomes
             except Exception as exc:
                 attempts += 1
                 for request in live:
                     self.store.record_attempt(request)
                 if attempts > self.max_retries:
                     self.stats.record_failure()
-                    batch_span.set_attr("failed", type(exc).__name__)
+                    mega_span.set_attr("failed", type(exc).__name__)
                     error = RetryExhaustedError(
                         f"fused solve failed after {attempts} attempt(s); "
                         f"last error: {exc!r}",
@@ -757,6 +1071,26 @@ class Server:
                 ):
                     if backoff > 0:
                         self._sleep(backoff)
+                prepared = [p for p in prepared if self._refresh_expired(p)]
+                if not prepared:
+                    mega_span.set_attr("expired_in_backoff", True)
+                    return None
+
+    def _mega_max_rows_for(self, prepared: list[_PreparedBatch]):
+        """Per-call row cap from the perfmodel, or ``None`` without one."""
+
+        if self.estimator is None:
+            return None
+        boundary_size = prepared[0].geometry.subdomain_grid().boundary_size
+        estimator = self.estimator
+        budget = self.latency_budget_seconds
+
+        def max_rows_for(q_points: int) -> int:
+            return estimator.recommend_mega_rows(
+                boundary_size, q_points, latency_budget_seconds=budget
+            )
+
+        return max_rows_for
 
     def _fail_requests(self, requests, error: BaseException) -> None:
         for request in requests:

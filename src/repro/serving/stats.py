@@ -74,6 +74,12 @@ class ServingStats:
         self._queue_waits = self.registry.histogram(
             "serving.queue_wait_seconds", window=window
         )
+        self._mega_runs = self.registry.counter("serving.mega_runs")
+        self._mega_calls = self.registry.counter("serving.mega_calls")
+        self._mega_rows = self.registry.histogram("serving.mega_rows", window=window)
+        self._mega_occupancy = self.registry.histogram(
+            "serving.mega_occupancy", window=window
+        )
         self._retries = self.registry.counter("serving.retries")
         self._rejections = self.registry.counter("serving.rejections")
         self._timeouts = self.registry.counter("serving.timeouts")
@@ -108,6 +114,23 @@ class ServingStats:
 
     def record_queue_wait(self, seconds: float) -> None:
         self._queue_waits.observe(float(seconds))
+
+    def record_mega_run(self, num_batches: int) -> None:
+        """One cross-request mega-batch execution fusing ``num_batches`` batches."""
+
+        self._mega_runs.inc()
+
+    def record_mega_call(self, rows: int, sessions: int) -> None:
+        """One fused solver call carrying ``rows`` rows from ``sessions`` batches.
+
+        ``sessions`` is the mega-batch *occupancy*: how many request batches
+        contributed rows to this call (1 would mean no cross-request fusion
+        happened on the call).
+        """
+
+        self._mega_calls.inc()
+        self._mega_rows.observe(float(rows))
+        self._mega_occupancy.observe(float(sessions))
 
     def record_retry(self) -> None:
         self._retries.inc()
@@ -170,6 +193,26 @@ class ServingStats:
         return self._store_hits.value
 
     @property
+    def mega_runs(self) -> int:
+        return self._mega_runs.value
+
+    @property
+    def mega_calls(self) -> int:
+        return self._mega_calls.value
+
+    @property
+    def mean_mega_occupancy(self) -> float:
+        """Mean request batches fused per mega solver call (0 when unused)."""
+
+        return self._mega_occupancy.mean
+
+    @property
+    def mean_mega_rows(self) -> float:
+        """Mean subdomain rows per mega solver call (0 when unused)."""
+
+        return self._mega_rows.mean
+
+    @property
     def batch_sizes(self) -> list:
         """Recent fused batch sizes (bounded window, oldest first)."""
 
@@ -230,6 +273,10 @@ class ServingStats:
             "timeouts": self.timeouts,
             "failures": self.failures,
             "store_hits": self.store_hits,
+            "mega_runs": self.mega_runs,
+            "mega_calls": self.mega_calls,
+            "mean_mega_occupancy": self.mean_mega_occupancy,
+            "mean_mega_rows": self.mean_mega_rows,
             "mean_batch_size": self.mean_batch_size,
             "latency_mean": self._latencies.mean,
             "latency_p50": self.latency_percentile(50),
@@ -255,6 +302,9 @@ class ServingStats:
             f"cache hit rate    : {d['cache_hit_rate']:.1%}",
             f"fused solver runs : {d['fused_runs']} (mean batch {d['mean_batch_size']:.1f})",
             f"solver runs saved : {d['solver_runs_saved']}",
+            f"mega-batch runs   : {d['mega_runs']} "
+            f"(occupancy {d['mean_mega_occupancy']:.1f} batches/call, "
+            f"{d['mean_mega_rows']:.0f} rows/call)",
             f"retries/timeouts  : {d['retries']} / {d['timeouts']} "
             f"({d['failures']} failed, {d['rejections']} shed)",
             f"latency mean/p50/p99 : "

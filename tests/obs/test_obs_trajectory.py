@@ -25,10 +25,13 @@ def rt(tmp_path, monkeypatch):
     return module
 
 
-def _write_artifacts(rt, forward=3.0, taylor=2.2, rect=(1.0, 1.0), l_shape=(1.2, 1.0)):
+def _write_artifacts(rt, forward=3.0, taylor=2.2, rect=(1.0, 1.0), l_shape=(1.2, 1.0),
+                     megabatch=1.5):
     rt.ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
     with open(rt.ARTIFACT_DIR / "engine_forward.json", "w") as h:
         json.dump({"serving_geomean_speedup": forward}, h)
+    with open(rt.ARTIFACT_DIR / "megabatch_serving.json", "w") as h:
+        json.dump({"speedup": megabatch}, h)
     with open(rt.ARTIFACT_DIR / "taylor_engine.json", "w") as h:
         json.dump({"geomean_speedup": taylor}, h)
     with open(rt.ARTIFACT_DIR / "engine_serving.json", "w") as h:

@@ -203,6 +203,10 @@ class TestDeadlines:
         assert "before dispatch" in str(error)
         assert server.stats.fused_runs == 0  # no solver capacity was spent
         assert server.stats.timeouts == 1
+        # Expired requests never reach the queue-wait histogram, so they
+        # cannot skew the served-traffic latency percentiles.
+        waits = server.stats.registry.histogram("serving.queue_wait_seconds")
+        assert waits.count == 0
 
     def test_live_waiter_keeps_expired_duplicate_alive(self, small_geometry,
                                                        harmonic_loops, fake_clock):

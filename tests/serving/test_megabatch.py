@@ -1,0 +1,400 @@
+"""Cross-request mega-batching: fusion keys, bitwise parity, hot-path bugfixes.
+
+The per-request (``mega_batch=False``) pipeline is the oracle throughout:
+mega-batching only concatenates solver-call rows across fusion-compatible
+batches, so every request's solution, iteration count and convergence deltas
+must stay bitwise identical with it on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.domains import CompositeDomain, CompositeMosaicGeometry
+from repro.fd import Grid2D
+from repro.models import SDNet
+from repro.mosaic import FDSubdomainSolver, MosaicGeometry, SDNetSubdomainSolver
+from repro.pde import HARMONIC_FUNCTIONS
+from repro.serving import (
+    CRASH,
+    WORKER_SOLVE,
+    BatchPolicy,
+    DeadlineExceededError,
+    FaultInjector,
+    FaultSpec,
+    FusedBatchRunner,
+    MegaBatchExecutor,
+    MegaSession,
+    Server,
+    ServingEstimator,
+    SolutionCache,
+    SolveRequest,
+    solver_fusion_key,
+)
+from repro.serving.fused import drive
+from repro.utils import seeded_rng
+
+RECT = MosaicGeometry(subdomain_points=9, subdomain_extent=0.5, steps_x=4, steps_y=4)
+WIDE = MosaicGeometry(subdomain_points=9, subdomain_extent=0.5, steps_x=6, steps_y=4)
+L_SHAPE = CompositeMosaicGeometry(9, 0.5, CompositeDomain.l_shape(6, 6, 3, 3))
+GEOMETRIES = (RECT, WIDE, L_SHAPE)
+
+
+def _loops(geometry, count, seed):
+    rng = seeded_rng(seed)
+    names = sorted(HARMONIC_FUNCTIONS)
+    loops = []
+    for _ in range(count):
+        weights = rng.normal(size=len(names))
+        loops.append(
+            geometry.boundary_from_function(
+                lambda x, y, w=weights: sum(
+                    wi * HARMONIC_FUNCTIONS[name](x, y)
+                    for wi, name in zip(w, names)
+                )
+            )
+        )
+    return loops
+
+
+def _server(clock, mega_batch=True, **kwargs):
+    kwargs.setdefault("policy", BatchPolicy(max_batch_size=8, max_wait_seconds=1e9))
+    kwargs.setdefault("cache", SolutionCache(capacity=64))
+    return Server(clock=clock, mega_batch=mega_batch, **kwargs)
+
+
+def _serve_stream(server, stream):
+    ids = []
+    for geometry, loop in stream:
+        ids.append(
+            server.submit(
+                SolveRequest.create(geometry, loop, max_iterations=40)
+            )
+        )
+    return ids, server.drain()
+
+
+def _mixed_stream(per_geometry=2, seed=31):
+    stream = []
+    for offset, geometry in enumerate(GEOMETRIES):
+        for loop in _loops(geometry, per_geometry, seed + offset):
+            stream.append((geometry, loop))
+    return stream
+
+
+class TestFusionKeys:
+    def test_fd_solvers_fuse_on_identical_configuration(self):
+        grid = RECT.subdomain_grid()
+        a = solver_fusion_key(FDSubdomainSolver(grid, method="direct"))
+        b = solver_fusion_key(FDSubdomainSolver(grid, method="direct"))
+        assert a == b and a[0] == "fd"
+        other_grid = Grid2D(11, 11, extent=(0.5, 0.5))
+        assert solver_fusion_key(FDSubdomainSolver(other_grid, method="direct")) != a
+
+    def test_sdnet_solvers_fuse_only_on_the_same_model(self):
+        model = SDNet(boundary_size=RECT.subdomain_grid().boundary_size,
+                      hidden_size=16, trunk_layers=2, embedding_channels=(2,), rng=7)
+        twin = SDNet(boundary_size=RECT.subdomain_grid().boundary_size,
+                     hidden_size=16, trunk_layers=2, embedding_channels=(2,), rng=7)
+        a = solver_fusion_key(SDNetSubdomainSolver(model))
+        b = solver_fusion_key(SDNetSubdomainSolver(model))
+        assert a == b and a[0] == "sdnet"
+        assert solver_fusion_key(SDNetSubdomainSolver(twin)) != a
+
+    def test_unknown_solver_types_never_fuse(self):
+        class Mystery:
+            def predict(self, boundaries, points):  # pragma: no cover
+                return np.zeros((boundaries.shape[0], points.shape[0]))
+
+        assert solver_fusion_key(Mystery()) is None
+
+
+class TestMegaParity:
+    def test_mixed_geometries_bitwise_identical_to_per_batch_path(self, fake_clock):
+        stream = _mixed_stream(per_geometry=2, seed=31)
+        mega_ids, mega_results = _serve_stream(_server(fake_clock), stream)
+        ref_ids, ref_results = _serve_stream(
+            _server(fake_clock, mega_batch=False), stream
+        )
+        assert len(mega_results) == len(stream)
+        for mega_id, ref_id in zip(mega_ids, ref_ids):
+            ours, theirs = mega_results[mega_id], ref_results[ref_id]
+            assert ours.solution.tobytes() == theirs.solution.tobytes()
+            assert ours.iterations == theirs.iterations
+            assert ours.converged == theirs.converged
+            assert ours.deltas == theirs.deltas
+
+    def test_mega_stats_record_fusion(self, fake_clock):
+        server = _server(fake_clock)
+        _serve_stream(server, _mixed_stream(per_geometry=2, seed=33))
+        stats = server.stats
+        assert stats.mega_runs == 1
+        assert stats.mega_calls >= 1
+        assert stats.fused_runs == len(GEOMETRIES)  # per-batch accounting kept
+        assert stats.mean_mega_occupancy == pytest.approx(len(GEOMETRIES))
+        assert stats.mean_mega_rows > 0
+        d = stats.as_dict()
+        assert d["mega_runs"] == 1 and d["mega_calls"] == stats.mega_calls
+        assert "mega-batch runs" in stats.report()
+
+    def test_perfmodel_row_cap_chunks_calls_without_changing_results(self, fake_clock):
+        class TightMegaRows(ServingEstimator):
+            """Generous per-request batches, but one-row mega solver calls."""
+
+            def recommend_mega_rows(self, boundary_size, q_points,
+                                    latency_budget_seconds=None):
+                return 1
+
+            def recommend_batch_size(self, geometry, latency_budget_seconds=None,
+                                     max_requests=None, assembly_batch=256):
+                return 8
+
+        estimator = TightMegaRows.for_platform("V100", hidden=512, trunk_layers=8)
+        stream = _mixed_stream(per_geometry=1, seed=35)
+        capped = _server(fake_clock, estimator=estimator)
+        capped_ids, capped_results = _serve_stream(capped, stream)
+        ref_ids, ref_results = _serve_stream(
+            _server(fake_clock, mega_batch=False), stream
+        )
+        # One-row calls force maximal chunking: far more solver calls than runs.
+        assert capped.stats.mega_runs >= 1
+        assert capped.stats.mega_calls > capped.stats.mega_runs
+        for capped_id, ref_id in zip(capped_ids, ref_ids):
+            assert (
+                capped_results[capped_id].solution.tobytes()
+                == ref_results[ref_id].solution.tobytes()
+            )
+
+    def test_single_batch_takes_classic_path(self, fake_clock):
+        server = _server(fake_clock)
+        _serve_stream(server, [(RECT, loop) for loop in _loops(RECT, 2, seed=37)])
+        assert server.stats.fused_runs == 1
+        assert server.stats.mega_runs == 0
+        assert server.stats.mega_calls == 0
+
+    def test_distinct_models_do_not_cross_fuse(self, fake_clock):
+        def model_for(rng):
+            return SDNet(boundary_size=RECT.subdomain_grid().boundary_size,
+                         hidden_size=16, trunk_layers=2,
+                         embedding_channels=(2,), rng=rng)
+
+        models = {id(RECT): model_for(1), id(WIDE): model_for(2)}
+
+        def factory(geometry):
+            return SDNetSubdomainSolver(models[id(geometry)])
+
+        server = _server(fake_clock, solver_factory=factory)
+        stream = [(RECT, _loops(RECT, 1, seed=39)[0]),
+                  (WIDE, _loops(WIDE, 1, seed=40)[0])]
+        _, results = _serve_stream(server, stream)
+        assert len(results) == 2
+        assert server.stats.mega_runs == 0  # incompatible solvers: classic path
+        assert server.stats.fused_runs == 2
+
+    def test_shared_sdnet_groups_fuse(self, fake_clock):
+        model = SDNet(boundary_size=RECT.subdomain_grid().boundary_size,
+                      hidden_size=16, trunk_layers=2, embedding_channels=(2,), rng=9)
+
+        def factory(geometry):
+            return SDNetSubdomainSolver(model)
+
+        stream = [(geometry, _loops(geometry, 1, seed=41)[0])
+                  for geometry in GEOMETRIES]
+        mega = _server(fake_clock, solver_factory=factory)
+        mega_ids, mega_results = _serve_stream(mega, stream)
+        ref_ids, ref_results = _serve_stream(
+            _server(fake_clock, solver_factory=factory, mega_batch=False), stream
+        )
+        assert mega.stats.mega_runs == 1
+        for mega_id, ref_id in zip(mega_ids, ref_ids):
+            assert (
+                mega_results[mega_id].solution.tobytes()
+                == ref_results[ref_id].solution.tobytes()
+            )
+
+
+class TestCoRelease:
+    def test_compatible_queue_rides_a_size_released_batch(self, fake_clock):
+        server = _server(
+            fake_clock, policy=BatchPolicy(max_batch_size=2, max_wait_seconds=1e9)
+        )
+        rect_loops = _loops(RECT, 2, seed=43)
+        wide_loop = _loops(WIDE, 1, seed=44)[0]
+        server.submit(SolveRequest.create(RECT, rect_loops[0], max_iterations=40))
+        server.submit(SolveRequest.create(WIDE, wide_loop, max_iterations=40))
+        assert server.pending == 2  # both groups below size, no deadline
+        # RECT's size trigger releases its batch; WIDE's queued request is
+        # co-released to ride the same mega run instead of waiting forever.
+        server.submit(SolveRequest.create(RECT, rect_loops[1], max_iterations=40))
+        assert server.pending == 0
+        assert server.stats.mega_runs == 1
+        assert server.stats.fused_runs == 2
+        assert len(server.drain()) == 3
+
+    def test_co_release_results_match_reference(self, fake_clock):
+        def run(mega_batch):
+            server = _server(
+                fake_clock,
+                mega_batch=mega_batch,
+                policy=BatchPolicy(max_batch_size=2, max_wait_seconds=1e9),
+            )
+            stream = [
+                (RECT, _loops(RECT, 2, seed=45)[0]),
+                (WIDE, _loops(WIDE, 1, seed=46)[0]),
+                (RECT, _loops(RECT, 2, seed=45)[1]),
+            ]
+            ids, results = _serve_stream(server, stream)
+            return [results[i].solution.tobytes() for i in ids]
+
+        assert run(True) == run(False)
+
+
+class TestRetryBackoffExpiry:
+    """Bugfix: deadline fail-fast re-runs between retry attempts."""
+
+    def test_expired_during_backoff_skips_the_retry_solve(self, fake_clock):
+        faults = FaultInjector(
+            [FaultSpec(site=WORKER_SOLVE, index=0, kind=CRASH)],
+            sleep=fake_clock.advance,
+        )
+        server = _server(
+            fake_clock, faults=faults, max_retries=2,
+            retry_backoff_seconds=5.0, retry_backoff_cap=10.0,
+            sleep=fake_clock.advance,
+        )
+        request = SolveRequest.create(
+            RECT, _loops(RECT, 1, seed=47)[0],
+            max_iterations=40, deadline_seconds=2.0,
+        )
+        server.submit(request)
+        future = server.future(request.request_id)
+        assert server.drain() == {}
+        error = future.exception()
+        assert isinstance(error, DeadlineExceededError)
+        assert "during retry backoff" in str(error)
+        # The 5s backoff outlived the 2s deadline: the second attempt must
+        # never run, so exactly one worker call and zero fused runs.
+        assert faults.calls(WORKER_SOLVE) == 1
+        assert server.stats.fused_runs == 0
+        assert server.stats.retries == 1
+        assert server.stats.timeouts == 1
+        assert server.stats.failures == 0
+
+    def test_mega_retry_drops_expired_batches_and_serves_survivors(self, fake_clock):
+        faults = FaultInjector(
+            [FaultSpec(site=WORKER_SOLVE, index=0, kind=CRASH)],
+            sleep=fake_clock.advance,
+        )
+        server = _server(
+            fake_clock, faults=faults, max_retries=2,
+            retry_backoff_seconds=5.0, retry_backoff_cap=10.0,
+            sleep=fake_clock.advance,
+        )
+        tight = SolveRequest.create(
+            RECT, _loops(RECT, 1, seed=48)[0],
+            max_iterations=40, deadline_seconds=2.0,
+        )
+        patient = SolveRequest.create(
+            WIDE, _loops(WIDE, 1, seed=49)[0], max_iterations=40
+        )
+        server.submit(tight)
+        server.submit(patient)
+        tight_future = server.future(tight.request_id)
+        results = server.drain()
+        assert list(results) == [patient.request_id]
+        error = tight_future.exception()
+        assert isinstance(error, DeadlineExceededError)
+        assert "during retry backoff" in str(error)
+        assert faults.calls(WORKER_SOLVE) == 2  # crash, then the retry
+        assert server.stats.mega_runs == 1
+
+        # The survivor's solution matches an unfaulted reference, bitwise.
+        clean = _server(fake_clock, mega_batch=False)
+        reference = SolveRequest.create(
+            WIDE, _loops(WIDE, 1, seed=49)[0], max_iterations=40
+        )
+        clean.submit(reference)
+        clean_results = clean.drain()
+        assert (
+            results[patient.request_id].solution.tobytes()
+            == clean_results[reference.request_id].solution.tobytes()
+        )
+
+
+class TestQueueWaitStats:
+    """Bugfix: queue waits are recorded only for live (non-expired) requests."""
+
+    def test_expired_requests_do_not_skew_queue_waits(self, fake_clock):
+        server = _server(fake_clock)
+        doomed = SolveRequest.create(
+            RECT, _loops(RECT, 2, seed=50)[0],
+            max_iterations=40, deadline_seconds=2.0,
+        )
+        live = SolveRequest.create(
+            RECT, _loops(RECT, 2, seed=50)[1], max_iterations=40
+        )
+        server.submit(doomed)
+        server.submit(live)
+        fake_clock.advance(3.0)  # doomed expires in the queue
+        results = server.drain()
+        assert list(results) == [live.request_id]
+        waits = server.stats.registry.histogram("serving.queue_wait_seconds")
+        assert waits.count == 1  # only the live request's wait was recorded
+        assert float(waits.values()[0]) == pytest.approx(3.0)
+
+
+class TestMegaExecutorProperty:
+    """Hypothesis: the lockstep executor is bitwise-equal to sequential runs."""
+
+    @staticmethod
+    def _outcomes_sequential(geometry, loops):
+        solver = FDSubdomainSolver(geometry.subdomain_grid(), method="direct")
+        runner = FusedBatchRunner(geometry, solver)
+        return runner.run(
+            np.stack(loops),
+            np.full(len(loops), 1e-6),
+            np.full(len(loops), 12),
+        )
+
+    @staticmethod
+    def _digest(outcomes):
+        return [
+            (o.solution.tobytes(), o.iterations, o.converged, tuple(o.deltas))
+            for o in outcomes
+        ]
+
+    @given(
+        counts=st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 2)),
+        cap=st.sampled_from([None, 1, 3, 8]),
+        seed=st.integers(0, 10),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_lockstep_execution_is_bitwise_identical(self, counts, cap, seed):
+        solver = FDSubdomainSolver(RECT.subdomain_grid(), method="direct")
+        populated = [
+            (geometry, _loops(geometry, count, seed=seed * 7 + index))
+            for index, (geometry, count) in enumerate(zip(GEOMETRIES, counts))
+            if count > 0
+        ]
+        sessions = [
+            MegaSession.begin(
+                FusedBatchRunner(geometry, solver),
+                np.stack(loops),
+                np.full(len(loops), 1e-6),
+                np.full(len(loops), 12),
+            )
+            for geometry, loops in populated
+        ]
+        executor = MegaBatchExecutor(
+            solver, max_rows_for=None if cap is None else (lambda q: cap)
+        )
+        mega = executor.run(sessions)
+        assert len(mega) == len(populated)
+        if populated:
+            assert executor.calls > 0 and executor.rows > 0
+        for (geometry, loops), outcomes in zip(populated, mega):
+            assert self._digest(outcomes) == self._digest(
+                self._outcomes_sequential(geometry, loops)
+            )
