@@ -31,7 +31,14 @@ import time
 from pathlib import Path
 
 from repro.mosaic import MosaicGeometry, SDNetSubdomainSolver
-from repro.obs import disable_tracing, enable_tracing, span
+from repro.obs import (
+    disable_memory_accounting,
+    disable_tracing,
+    enable_memory_accounting,
+    enable_tracing,
+    span,
+)
+from repro.obs import memory as obs_memory
 from repro.serving import Server, SolveRequest
 from repro.training import Trainer, TrainingConfig
 from repro.utils import seeded_rng
@@ -58,6 +65,16 @@ def _disabled_span_cost(calls: int = 200_000) -> float:
     for _ in range(calls):
         with span("bench.site", batch=8):
             pass
+    return (time.perf_counter() - start) / calls
+
+
+def _disabled_memory_cost(calls: int = 200_000) -> float:
+    """Seconds per disabled ``obs_memory.add/sub`` call (the site shape)."""
+
+    disable_memory_accounting()
+    start = time.perf_counter()
+    for _ in range(calls):
+        obs_memory.add("bench.owner", 1024)
     return (time.perf_counter() - start) / calls
 
 
@@ -105,11 +122,16 @@ def test_disabled_overhead_under_two_percent(bench_trained_sdnet, bench_dataset)
     geometry = _geometry()
     loops = _loops(geometry, 6)
     per_span = _disabled_span_cost()
+    per_mem = _disabled_memory_cost()
 
     # -- serving hot path --------------------------------------------------------
     # Span sites fired per request is measured, not hand-counted: trace one
-    # run of the identical workload and count what was recorded.
+    # run of the identical workload and count what was recorded.  The memory
+    # accountant's event counter measures its site count the same way.
+    accountant = enable_memory_accounting()
     _, span_total, tracer = _serve(model, loops, geometry, tracing=True)
+    mem_events_per_request = accountant.event_count() / len(loops)
+    disable_memory_accounting()
     ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
     tracer.write_chrome_trace(ARTIFACT_DIR / "serving_trace.json")
     disable_tracing()
@@ -117,7 +139,14 @@ def test_disabled_overhead_under_two_percent(bench_trained_sdnet, bench_dataset)
 
     serving_seconds, _, _ = _serve(model, loops, geometry, tracing=False)
     seconds_per_request = serving_seconds / len(loops)
-    serving_overhead = spans_per_request * per_span / seconds_per_request
+    # The flight recorder's disabled path is one attribute `is None` check
+    # per request completion — strictly cheaper than a disabled span call;
+    # bound it by one extra span-cost per request.
+    serving_overhead = (
+        spans_per_request * per_span
+        + mem_events_per_request * per_mem
+        + per_span
+    ) / seconds_per_request
 
     # -- compiled training hot path ----------------------------------------------
     train, val = bench_dataset.split(validation_fraction=0.125, seed=0)
@@ -134,22 +163,31 @@ def test_disabled_overhead_under_two_percent(bench_trained_sdnet, bench_dataset)
     disable_tracing()
 
     trainer.train_step(batch)  # warm (plans built, caches hot)
+    accountant = enable_memory_accounting()
+    trainer.train_step(batch)  # steady state: plan buffers already cached
+    mem_events_per_step = accountant.event_count()
+    disable_memory_accounting()
     repeats = 5
     tic = time.perf_counter()
     for _ in range(repeats):
         trainer.train_step(batch)
     seconds_per_step = (time.perf_counter() - tic) / repeats
-    training_overhead = spans_per_step * per_span / seconds_per_step
+    training_overhead = (
+        spans_per_step * per_span + mem_events_per_step * per_mem
+    ) / seconds_per_step
 
     payload = {
         "disabled_span_cost_seconds": per_span,
+        "disabled_memory_cost_seconds": per_mem,
         "serving": {
             "spans_per_request": spans_per_request,
+            "memory_events_per_request": mem_events_per_request,
             "seconds_per_request": seconds_per_request,
             "overhead_fraction": serving_overhead,
         },
         "training": {
             "spans_per_step": spans_per_step,
+            "memory_events_per_step": mem_events_per_step,
             "seconds_per_step": seconds_per_step,
             "overhead_fraction": training_overhead,
         },
@@ -158,13 +196,16 @@ def test_disabled_overhead_under_two_percent(bench_trained_sdnet, bench_dataset)
     _write_artifact("obs_overhead.json", payload)
     print_table(
         "Observability: disabled-instrumentation overhead",
-        ["path", "spans/unit", "unit time", "overhead"],
+        ["path", "spans/unit", "mem-events/unit", "unit time", "overhead"],
         [
             ["serving request", f"{spans_per_request:.1f}",
+             f"{mem_events_per_request:.1f}",
              f"{seconds_per_request * 1e3:.1f}ms", f"{serving_overhead:.4%}"],
             ["train step (engine)", f"{spans_per_step}",
+             f"{mem_events_per_step}",
              f"{seconds_per_step * 1e3:.1f}ms", f"{training_overhead:.4%}"],
-            ["span() disabled", "-", f"{per_span * 1e9:.0f}ns", "-"],
+            ["span() disabled", "-", "-", f"{per_span * 1e9:.0f}ns", "-"],
+            ["memory add() disabled", "-", "-", f"{per_mem * 1e9:.0f}ns", "-"],
         ],
     )
 

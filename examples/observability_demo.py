@@ -12,7 +12,11 @@ The demo drives ``repro.obs`` across every layer it instruments:
 3. print the unified metrics snapshot (``Server.stats()``'s counters and
    bounded histograms) in both JSON and Prometheus text exposition,
 4. print the engine's top-kernels report: where the compiled plans actually
-   spent their time, per numpy kernel, with call counts and bytes moved.
+   spent their time, per numpy kernel, with call counts and bytes moved,
+5. print the tail-sampled flight records (the requests that finished above
+   the rolling latency quantile, with their span trees and attribution),
+   the per-owner memory accounting, and the ``Server.health()`` snapshot
+   with its multi-window SLO burn rates.
 
 Run with::
 
@@ -30,7 +34,15 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 from repro.data import generate_dataset
 from repro.models import SDNet
 from repro.mosaic import MosaicGeometry, SDNetSubdomainSolver
-from repro.obs import disable_tracing, enable_tracing, to_json, to_prometheus
+from repro.obs import (
+    FlightRecorder,
+    disable_memory_accounting,
+    disable_tracing,
+    enable_memory_accounting,
+    enable_tracing,
+    to_json,
+    to_prometheus,
+)
 from repro.serving import Server, SolveRequest
 from repro.training import Trainer, TrainingConfig
 from repro.utils import seeded_rng
@@ -95,13 +107,17 @@ def main() -> None:
     )
     loops = request_stream(geometry, args.requests, args.seed)
 
-    # 1. tracing on; engine + per-kernel profiling on.
+    # 1. tracing + memory accounting on; engine + per-kernel profiling on;
+    #    flight recorder tail-samples above the rolling median so a quiet
+    #    demo run still retains a few "slow" traces to show.
     tracer = enable_tracing()
+    accountant = enable_memory_accounting()
     server = Server(
         solver_factory=lambda geom: SDNetSubdomainSolver(model),
         world_size=2,
         engine=True,
         engine_profile=True,
+        flight=FlightRecorder(min_samples=8, latency_quantile=50.0),
     )
     for loop in loops:
         server.submit(SolveRequest.create(geometry, loop, tol=1e-6, max_iterations=60))
@@ -124,9 +140,37 @@ def main() -> None:
     print("\n=== per-kernel profile ===")
     print(server.kernel_report())
 
+    # 5. the tail: which requests were slow, why, and what they were doing.
+    print("\n=== flight recorder (tail-sampled slow requests) ===")
+    summary = server.flight.summary()
+    threshold = summary["latency_threshold_seconds"]
+    threshold = "n/a" if threshold is None else f"{threshold:.4f}s"
+    print(f"retained {summary['retained']} of {args.requests} requests "
+          f"(threshold {threshold}, by reason {summary['by_reason']})")
+    for record in server.flight.records()[-2:]:
+        print(f"\n--- {record.request_id} [{record.reason}] "
+              f"{record.latency_seconds * 1e3:.1f}ms "
+              f"occupancy={record.attrs.get('mega_occupancy')} ---")
+        print(record.span_tree())
+
+    print("\n=== memory accounting (bytes by owner) ===")
+    print(accountant.report())
+
+    print("\n=== Server.health() ===")
+    health = server.health()
+    print(f"status: {health['status']}  alerts: {health['alerts']}")
+    print(f"bytes/request: {health['bytes_per_request']:.0f}")
+    for objective, state in health["slo"].items():
+        windows = ", ".join(
+            f"{name}: attainment={w['attainment']} burn={w['burn_rate']}"
+            for name, w in state["windows"].items()
+        )
+        print(f"  {objective} (target {state['target']}): {windows}")
+
     print("\n=== serving report ===")
     print(server.stats.report())
     disable_tracing()
+    disable_memory_accounting()
 
 
 if __name__ == "__main__":

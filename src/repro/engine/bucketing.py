@@ -42,6 +42,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..autodiff.tensor import DEFAULT_DTYPE
+from ..obs import memory as obs_memory
 from .graph import Graph, Node
 from .kernels import build_step, step_bytes
 
@@ -568,6 +569,15 @@ class BucketedPlan:
     def specialization_count(self) -> int:
         return len(self._specs)
 
+    def release_accounting(self) -> None:
+        """Return this plan's bytes to the memory accountant (plan dropped).
+
+        Read at release time so lazily-built specializations (which grow
+        ``buffer_bytes`` after cache insertion) stay balanced.
+        """
+
+        obs_memory.sub(obs_memory.ENGINE_PLAN_BUFFERS, self.buffer_bytes)
+
     def has_specialization(self, b: int) -> bool:
         return b in self._specs
 
@@ -587,6 +597,7 @@ class BucketedPlan:
                 constant = _constant_at(tmpl.const_spec, b)
                 if tmpl.const_spec[0] == "fill":
                     self._constant_bytes += int(constant.nbytes)
+                    obs_memory.add(obs_memory.ENGINE_PLAN_BUFFERS, constant.nbytes)
                 slots[position] = constant
                 continue
             shape_b = _shape_at(tmpl.shape_template, b)
@@ -603,6 +614,7 @@ class BucketedPlan:
                         shape, dtype=dtype if dtype is not None else DEFAULT_DTYPE
                     )
                     buffers.append(buffer)
+                    obs_memory.add(obs_memory.ENGINE_PLAN_BUFFERS, buffer.nbytes)
                     return buffer
 
             else:

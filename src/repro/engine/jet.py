@@ -208,6 +208,11 @@ class CompiledValueAndGrad:
     def _plans(self) -> PlanCache:
         tls = self._tls
         if getattr(tls, "generation", None) != self._generation:
+            # Retire this thread's stale-generation plans explicitly so the
+            # memory accountant sees their buffers released.
+            stale = getattr(tls, "plans", None)
+            if stale is not None:
+                stale.clear()
             tls.plans = PlanCache(self.max_plan_bytes, on_evict=self._record_eviction)
             tls.generation = self._generation
         return tls.plans

@@ -44,6 +44,7 @@ import numpy as np
 
 from ..autodiff.tensor import DEFAULT_DTYPE, Tensor
 from ..nn.module import Module
+from ..obs import memory as obs_memory
 from .graph import Graph
 from .kernels import build_step, step_bytes
 from .passes import optimize
@@ -100,7 +101,17 @@ class ExecutionPlan:
     def _alloc(self, shape, dtype) -> np.ndarray:
         buffer = np.empty(shape, dtype=dtype if dtype is not None else DEFAULT_DTYPE)
         self._buffers.append(buffer)
+        obs_memory.add(obs_memory.ENGINE_PLAN_BUFFERS, buffer.nbytes)
         return buffer
+
+    def release_accounting(self) -> None:
+        """Return this plan's bytes to the memory accountant (plan dropped).
+
+        ``buffer_bytes`` is read at release time, so plans that grew after
+        construction (bucketed specializations) stay balanced.
+        """
+
+        obs_memory.sub(obs_memory.ENGINE_PLAN_BUFFERS, self.buffer_bytes)
 
     @property
     def buffer_bytes(self) -> int:
@@ -146,6 +157,19 @@ class ExecutionPlan:
         return [slots[slot] for slot in self._output_slots]
 
 
+
+def _release_accounting(plan) -> None:
+    """Credit a retired plan's buffers back to the memory accountant.
+
+    Duck-typed: the cache also holds test doubles and plan variants that
+    never registered allocations, which simply lack the hook.
+    """
+
+    release = getattr(plan, "release_accounting", None)
+    if release is not None:
+        release()
+
+
 class PlanCache:
     """A byte-accounted LRU of execution plans.
 
@@ -185,6 +209,7 @@ class PlanCache:
         previous = self._entries.pop(key, None)
         if previous is not None:
             self.bytes_in_use -= previous[1]
+            _release_accounting(previous[0])
         self._entries[key] = (plan, nbytes)
         self.bytes_in_use += nbytes
         if self.max_bytes is None:
@@ -192,10 +217,13 @@ class PlanCache:
         while self.bytes_in_use > self.max_bytes and len(self._entries) > 1:
             old_key, (old_plan, old_bytes) = self._entries.popitem(last=False)
             self.bytes_in_use -= old_bytes
+            _release_accounting(old_plan)
             if self._on_evict is not None:
                 self._on_evict(old_key, old_bytes)
 
     def clear(self) -> None:
+        for plan, _ in self._entries.values():
+            _release_accounting(plan)
         self._entries.clear()
         self.bytes_in_use = 0
 
@@ -337,7 +365,13 @@ class CompiledModule:
     def _check_parity(self, graph: Graph, arrays: list[np.ndarray]) -> None:
         from ..autodiff import no_grad
 
-        compiled = ExecutionPlan(graph).run(arrays)
+        parity_plan = ExecutionPlan(graph)
+        try:
+            compiled = parity_plan.run(arrays)
+        finally:
+            # Transient plan: its buffers die with this frame, so the memory
+            # accountant must not keep counting them.
+            parity_plan.release_accounting()
         with no_grad():
             # Wrap inputs exactly as trace() does: a module applying Python
             # operators to raw ndarray inputs would otherwise take numpy's
@@ -364,6 +398,12 @@ class CompiledModule:
     def _plan_for(self, signature: tuple, arrays: list[np.ndarray]) -> ExecutionPlan:
         tls = self._tls
         if getattr(tls, "generation", None) != self._generation:
+            # Retire this thread's stale-generation plans explicitly so the
+            # memory accountant sees their buffers released (other threads'
+            # caches retire the same way on their next call).
+            stale = getattr(tls, "plans", None)
+            if stale is not None:
+                stale.clear()
             tls.plans = PlanCache(self.max_plan_bytes, on_evict=self._record_eviction)
             tls.generation = self._generation
         plan = tls.plans.get(signature)

@@ -12,10 +12,20 @@ disconnected ad-hoc instruments (``serving.stats`` latency lists,
 * :mod:`.metrics` — counters, gauges and bounded-memory histograms (ring
   window, exact ``np.percentile`` quantiles) behind a single
   snapshot/merge registry.
-* :mod:`.export` — JSON and Prometheus text exposition of snapshots.
+* :mod:`.export` — JSON and Prometheus text exposition of snapshots
+  (labeled series escaped per the exposition format).
 * :mod:`.profile` — per-kernel profiling of compiled execution plans: per-op
   wall time, call counts and buffer bytes plus plan-cache events, surfaced
   as a "top kernels" report (opt-in; bitwise-identical results).
+* :mod:`.memory` — byte-accounting registry attributing allocations to
+  owners (plan buffers, caches, request payloads, mega-batch scratch) with
+  live/peak gauges and a machine-independent bytes-per-request stream;
+  near-free when disabled, like the tracer.
+* :mod:`.flight` — tail-sampling flight recorder: the full span tree plus
+  metric exemplars, retained only for slow / failed / retried / deadline /
+  straggler requests, in a bounded ring with Chrome-trace dump-on-demand.
+* :mod:`.slo` — rolling-window SLOs (availability, latency attainment) with
+  multi-window burn-rate computation, surfaced via ``Server.health()``.
 
 Quick start::
 
@@ -29,8 +39,16 @@ Quick start::
 """
 
 from .export import to_json, to_prometheus
+from .flight import FlightRecord, FlightRecorder
+from .memory import (
+    MemoryAccountant,
+    disable_memory_accounting,
+    enable_memory_accounting,
+    get_accountant,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profile import KernelProfiler
+from .slo import SLObjective, SLOTracker
 from .trace import (
     Span,
     Tracer,
@@ -54,4 +72,12 @@ __all__ = [
     "get_tracer",
     "to_json",
     "to_prometheus",
+    "MemoryAccountant",
+    "enable_memory_accounting",
+    "disable_memory_accounting",
+    "get_accountant",
+    "FlightRecord",
+    "FlightRecorder",
+    "SLObjective",
+    "SLOTracker",
 ]

@@ -9,8 +9,11 @@ this module renders them for the two consumers a service actually has:
   0.0.4): counters as ``_total`` samples, gauges as plain samples,
   histograms as summaries with ``quantile`` labels plus ``_sum``/``_count``.
 
-Metric names are sanitized to the Prometheus grammar (dots and dashes become
-underscores).
+Metric and label *names* are sanitized to the Prometheus grammar (dots and
+dashes become underscores; label names additionally may not contain colons).
+Label *values* may contain anything and are escaped per the exposition
+format: backslash, double-quote and newline become ``\\\\``, ``\\"`` and
+``\\n``.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ import re
 __all__ = ["to_json", "to_prometheus"]
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
 
 
 def _prom_name(name: str) -> str:
@@ -28,6 +32,40 @@ def _prom_name(name: str) -> str:
     if sanitized and sanitized[0].isdigit():
         sanitized = "_" + sanitized
     return sanitized
+
+
+def _prom_label_name(name: str) -> str:
+    sanitized = _LABEL_NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_label_value(value) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _label_suffix(labels: dict | None, extra: dict | None = None) -> str:
+    """Render ``{k="v",...}`` with sanitized names and escaped values."""
+
+    merged: dict = {}
+    if labels:
+        for key, value in labels.items():
+            merged[_prom_label_name(key)] = value
+    if extra:
+        for key, value in extra.items():
+            merged[_prom_label_name(key)] = value
+    if not merged:
+        return ""
+    pairs = ",".join(
+        f'{key}="{_escape_label_value(merged[key])}"' for key in sorted(merged)
+    )
+    return "{" + pairs + "}"
 
 
 def _format_value(value) -> str:
@@ -48,27 +86,39 @@ def to_prometheus(snapshot: dict) -> str:
     """Render a registry snapshot in the Prometheus text exposition format."""
 
     lines: list[str] = []
-    for name in sorted(snapshot):
-        entry = snapshot[name]
+    typed: set[str] = set()
+
+    def emit_type(prom: str, kind: str) -> None:
+        # One TYPE line per metric name, even when several labeled series
+        # of the same name appear in the snapshot.
+        if prom not in typed:
+            typed.add(prom)
+            lines.append(f"# TYPE {prom} {kind}")
+
+    for key in sorted(snapshot):
+        entry = snapshot[key]
         kind = entry.get("type")
-        prom = _prom_name(name)
+        # Labeled entries carry their base name separately; the snapshot key
+        # is the registry's canonical name{labels} index.
+        prom = _prom_name(entry.get("name", key))
+        labels = entry.get("labels")
+        suffix = _label_suffix(labels)
         if kind == "counter":
-            lines.append(f"# TYPE {prom}_total counter")
-            lines.append(f"{prom}_total {_format_value(entry['value'])}")
+            emit_type(f"{prom}_total", "counter")
+            lines.append(f"{prom}_total{suffix} {_format_value(entry['value'])}")
         elif kind == "gauge":
-            lines.append(f"# TYPE {prom} gauge")
-            lines.append(f"{prom} {_format_value(entry['value'])}")
+            emit_type(prom, "gauge")
+            lines.append(f"{prom}{suffix} {_format_value(entry['value'])}")
         elif kind == "histogram":
             # Exposed as a summary: exact window quantiles + stream totals.
-            lines.append(f"# TYPE {prom} summary")
+            emit_type(prom, "summary")
             for q in (50, 90, 99):
-                key = f"p{q}"
-                if key in entry:
-                    lines.append(
-                        f'{prom}{{quantile="{q / 100}"}} {_format_value(entry[key])}'
-                    )
-            lines.append(f"{prom}_sum {_format_value(entry['sum'])}")
-            lines.append(f"{prom}_count {entry['count']}")
+                field = f"p{q}"
+                if field in entry:
+                    quantile = _label_suffix(labels, extra={"quantile": q / 100})
+                    lines.append(f"{prom}{quantile} {_format_value(entry[field])}")
+            lines.append(f"{prom}_sum{suffix} {_format_value(entry['sum'])}")
+            lines.append(f"{prom}_count{suffix} {entry['count']}")
         else:
-            raise ValueError(f"snapshot entry {name!r} has unknown type {kind!r}")
+            raise ValueError(f"snapshot entry {key!r} has unknown type {kind!r}")
     return "\n".join(lines) + "\n"

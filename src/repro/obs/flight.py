@@ -1,0 +1,235 @@
+"""Tail-sampling flight recorder: keep the full story of the bad requests.
+
+Always-on tracing of every request is too expensive to retain, and uniform
+sampling keeps the wrong ones — production debugging needs the *tail*.  The
+:class:`FlightRecorder` holds a bounded ring of :class:`FlightRecord`\\ s and
+retains a record only when a request is worth a post-mortem:
+
+* **slow** — its latency exceeded the rolling-quantile threshold computed
+  over recent request latencies (tail sampling proper),
+* **retried** — its solve needed at least one retry,
+* **failed** — it resolved with a typed serving error (retry exhaustion,
+  assembly faults),
+* **deadline** — it expired before dispatch (fail-fast path),
+* **straggler** — its solve completed, but past the request deadline.
+
+Each record carries the request's span tree (captured *while the batch span
+is still open*, so in-flight spans show where a straggler was stuck — see
+:func:`repro.obs.trace.span_events`), metric exemplars snapshotted at
+retention time, and the serving attribution the server wires through:
+request id, tenant, fusion key, mega-batch occupancy, store-hit provenance.
+Retained traces dump on demand as Chrome trace-event JSON.
+
+The recorder is passive until a :class:`~repro.serving.server.Server` is
+built with ``flight=FlightRecorder(...)``; a server without one pays only a
+``None`` check per request.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from .metrics import Histogram
+from .trace import Span, render_spans, span_events
+
+__all__ = ["FlightRecord", "FlightRecorder", "RETENTION_REASONS"]
+
+#: every reason a record can be retained for
+RETENTION_REASONS = ("slow", "retried", "failed", "deadline", "straggler")
+
+
+@dataclass
+class FlightRecord:
+    """One retained request: attribution, exemplars and the span tree."""
+
+    request_id: str
+    tenant: str
+    reason: str                       # one of RETENTION_REASONS
+    latency_seconds: float | None = None
+    error: str | None = None          # error type name for failure reasons
+    attrs: dict = field(default_factory=dict)
+    exemplars: dict = field(default_factory=dict)
+    spans: Span | None = None         # root of the captured span tree
+    captured_at: float = 0.0          # perf_counter at retention
+
+    def span_tree(self) -> str:
+        """Indented text rendering of the captured span tree (may be empty)."""
+
+        if self.spans is None:
+            return "(no span tree captured; enable tracing to retain spans)"
+        return "\n".join(render_spans([self.spans], now=self.captured_at))
+
+    def as_dict(self) -> dict:
+        out = {
+            "request_id": self.request_id,
+            "tenant": self.tenant,
+            "reason": self.reason,
+            "latency_seconds": self.latency_seconds,
+            "error": self.error,
+            "attrs": dict(self.attrs),
+            "exemplars": dict(self.exemplars),
+        }
+        if self.spans is not None:
+            out["span_count"] = sum(1 for _ in self.spans.walk())
+        return out
+
+
+class FlightRecorder:
+    """Bounded ring of tail-sampled flight records.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained records; the oldest is dropped (and counted) when
+        the ring is full.
+    latency_quantile:
+        A successful request is retained as ``slow`` when its latency
+        exceeds this rolling percentile of recent latencies.
+    min_samples:
+        Warm-up: no ``slow`` retention until this many latencies have been
+        observed (a threshold over two samples retains noise).
+    window:
+        Ring window of the rolling latency distribution.
+
+    The retention decision for a new latency uses the threshold over
+    *previous* observations only (decide, then observe) — this makes the
+    retained set a pure function of the request stream, which the
+    determinism tests rely on.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        latency_quantile: float = 99.0,
+        min_samples: int = 64,
+        window: int = 4096,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if not 0.0 < latency_quantile <= 100.0:
+            raise ValueError("latency_quantile must be in (0, 100]")
+        self.capacity = int(capacity)
+        self.latency_quantile = float(latency_quantile)
+        self.min_samples = int(min_samples)
+        self._lock = threading.Lock()
+        self._records: deque[FlightRecord] = deque(maxlen=self.capacity)
+        self._latencies = Histogram("flight.latency_seconds", window=window)
+        self._dropped = 0
+        self._by_reason = {reason: 0 for reason in RETENTION_REASONS}
+
+    # -- tail sampling ------------------------------------------------------------
+
+    def latency_threshold(self) -> float | None:
+        """Current ``slow`` threshold, or ``None`` while warming up."""
+
+        if self._latencies.count < self.min_samples:
+            return None
+        return self._latencies.percentile(self.latency_quantile)
+
+    def is_slow(self, latency_seconds: float) -> bool:
+        """Whether a latency clears the rolling-quantile retention bar."""
+
+        threshold = self.latency_threshold()
+        return threshold is not None and latency_seconds > threshold
+
+    def observe_latency(self, latency_seconds: float) -> None:
+        """Feed one completed-request latency into the rolling distribution."""
+
+        self._latencies.observe(latency_seconds)
+
+    # -- retention ----------------------------------------------------------------
+
+    def retain(self, record: FlightRecord) -> FlightRecord:
+        """Keep a record in the ring (oldest drops when full)."""
+
+        if record.reason not in self._by_reason:
+            raise ValueError(
+                f"unknown retention reason {record.reason!r}; "
+                f"expected one of {RETENTION_REASONS}"
+            )
+        if not record.captured_at:
+            record.captured_at = time.perf_counter()
+        with self._lock:
+            if len(self._records) == self._records.maxlen:
+                self._dropped += 1
+            self._records.append(record)
+            self._by_reason[record.reason] += 1
+        return record
+
+    def records(self, reason: str | None = None) -> list[FlightRecord]:
+        """Retained records, oldest first (optionally one reason only)."""
+
+        with self._lock:
+            records = list(self._records)
+        if reason is not None:
+            records = [r for r in records if r.reason == reason]
+        return records
+
+    def counts(self) -> dict:
+        """Retained-record counts per reason (including since-dropped ones)."""
+
+        with self._lock:
+            return dict(self._by_reason)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self._dropped = 0
+            for reason in self._by_reason:
+                self._by_reason[reason] = 0
+
+    def summary(self) -> dict:
+        with self._lock:
+            retained = len(self._records)
+            dropped = self._dropped
+            by_reason = dict(self._by_reason)
+        return {
+            "retained": retained,
+            "dropped": dropped,
+            "by_reason": by_reason,
+            "latency_threshold_seconds": self.latency_threshold(),
+            "latency_quantile": self.latency_quantile,
+        }
+
+    # -- dump-on-demand -----------------------------------------------------------
+
+    def chrome_trace(self) -> list[dict]:
+        """Trace events of every retained record, tagged with its attribution.
+
+        Spans that were still open at capture time carry ``in_flight: true``
+        with their duration up to the capture instant.
+        """
+
+        events = []
+        for record in self.records():
+            if record.spans is None:
+                continue
+            for event in span_events(
+                record.spans, record.spans.start, now=record.captured_at
+            ):
+                event["args"].update(
+                    {
+                        "flight.request_id": record.request_id,
+                        "flight.tenant": record.tenant,
+                        "flight.reason": record.reason,
+                    }
+                )
+                events.append(event)
+        return events
+
+    def write_chrome_trace(self, path) -> None:
+        """Dump retained records as one Chrome trace-event file + metadata."""
+
+        payload = {
+            "traceEvents": self.chrome_trace(),
+            "metadata": {
+                "summary": self.summary(),
+                "records": [record.as_dict() for record in self.records()],
+            },
+        }
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)

@@ -30,14 +30,28 @@ import threading
 
 import numpy as np
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "metric_key"]
+
+
+def metric_key(name: str, labels: dict | None = None) -> str:
+    """Canonical registry key of a metric: name plus sorted label pairs.
+
+    Two call sites asking for the same name and label set always resolve to
+    the same metric object, regardless of dict ordering.
+    """
+
+    if not labels:
+        return name
+    suffix = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{suffix}}}"
 
 
 class Counter:
     """A thread-safe monotonically increasing counter."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: dict | None = None):
         self.name = name
+        self.labels = dict(labels) if labels else None
         self._lock = threading.Lock()
         self._value = 0
 
@@ -53,7 +67,11 @@ class Counter:
             return self._value
 
     def snapshot(self) -> dict:
-        return {"type": "counter", "value": self.value}
+        out = {"type": "counter", "value": self.value}
+        if self.labels:
+            out["name"] = self.name
+            out["labels"] = dict(self.labels)
+        return out
 
     def merge(self, other_snapshot: dict) -> None:
         with self._lock:
@@ -63,8 +81,9 @@ class Counter:
 class Gauge:
     """A thread-safe last-written value (with a write sequence for merging)."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: dict | None = None):
         self.name = name
+        self.labels = dict(labels) if labels else None
         self._lock = threading.Lock()
         self._value = 0.0
         self._writes = 0
@@ -86,7 +105,11 @@ class Gauge:
 
     def snapshot(self) -> dict:
         with self._lock:
-            return {"type": "gauge", "value": self._value, "writes": self._writes}
+            out = {"type": "gauge", "value": self._value, "writes": self._writes}
+        if self.labels:
+            out["name"] = self.name
+            out["labels"] = dict(self.labels)
+        return out
 
     def merge(self, other_snapshot: dict) -> None:
         # Merging gauges from two sources keeps the one written more often
@@ -106,10 +129,11 @@ class Histogram:
     stream, so derived means never drift even after the window wraps.
     """
 
-    def __init__(self, name: str, window: int = 4096):
+    def __init__(self, name: str, window: int = 4096, labels: dict | None = None):
         if window < 1:
             raise ValueError("window must be at least 1")
         self.name = name
+        self.labels = dict(labels) if labels else None
         self.window = int(window)
         self._lock = threading.Lock()
         self._ring = np.empty(self.window, dtype=float)
@@ -188,6 +212,9 @@ class Histogram:
         for q in (50, 90, 99):
             out[f"p{q}"] = float(np.percentile(values, q)) if values.size else 0.0
         out["window_values"] = values.tolist()
+        if self.labels:
+            out["name"] = self.name
+            out["labels"] = dict(self.labels)
         return out
 
     def merge(self, other_snapshot: dict) -> None:
@@ -219,26 +246,33 @@ class MetricsRegistry:
 
     # -- construction -------------------------------------------------------------
 
-    def _get_or_create(self, name: str, kind: str, factory):
+    def _get_or_create(self, key: str, kind: str, factory):
         with self._lock:
-            metric = self._metrics.get(name)
+            metric = self._metrics.get(key)
             if metric is None:
-                metric = self._metrics[name] = factory()
+                metric = self._metrics[key] = factory()
             elif type(metric) is not self._TYPES[kind]:
                 raise TypeError(
-                    f"metric {name!r} already registered as "
+                    f"metric {key!r} already registered as "
                     f"{type(metric).__name__}, not {kind}"
                 )
             return metric
 
-    def counter(self, name: str) -> Counter:
-        return self._get_or_create(name, "counter", lambda: Counter(name))
+    def counter(self, name: str, labels: dict | None = None) -> Counter:
+        key = metric_key(name, labels)
+        return self._get_or_create(key, "counter", lambda: Counter(name, labels=labels))
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get_or_create(name, "gauge", lambda: Gauge(name))
+    def gauge(self, name: str, labels: dict | None = None) -> Gauge:
+        key = metric_key(name, labels)
+        return self._get_or_create(key, "gauge", lambda: Gauge(name, labels=labels))
 
-    def histogram(self, name: str, window: int = 4096) -> Histogram:
-        return self._get_or_create(name, "histogram", lambda: Histogram(name, window))
+    def histogram(
+        self, name: str, window: int = 4096, labels: dict | None = None
+    ) -> Histogram:
+        key = metric_key(name, labels)
+        return self._get_or_create(
+            key, "histogram", lambda: Histogram(name, window, labels=labels)
+        )
 
     def names(self) -> list[str]:
         with self._lock:
@@ -281,13 +315,19 @@ class MetricsRegistry:
             if isinstance(other, MetricsRegistry)
             else other
         )
-        for name, snap in snapshot.items():
+        for key, snap in snapshot.items():
             kind = snap.get("type")
+            # Labeled entries carry their base name + labels; the key string
+            # is only the canonical registry index.
+            name = snap.get("name", key)
+            labels = snap.get("labels")
             if kind == "counter":
-                self.counter(name).merge(snap)
+                self.counter(name, labels=labels).merge(snap)
             elif kind == "gauge":
-                self.gauge(name).merge(snap)
+                self.gauge(name, labels=labels).merge(snap)
             elif kind == "histogram":
-                self.histogram(name, window=snap.get("window", 4096)).merge(snap)
+                self.histogram(
+                    name, window=snap.get("window", 4096), labels=labels
+                ).merge(snap)
             else:
-                raise ValueError(f"snapshot entry {name!r} has unknown type {kind!r}")
+                raise ValueError(f"snapshot entry {key!r} has unknown type {kind!r}")

@@ -1,0 +1,238 @@
+"""Rolling-window SLOs with multi-window burn-rate computation.
+
+An SLO turns a metric stream into a contract: "99.9% of requests succeed"
+(availability) or "95% of requests finish under 250 ms" (latency-objective
+attainment).  The *burn rate* is how fast the error budget is being spent::
+
+    burn = (1 - attainment) / (1 - target)
+
+``burn == 1`` spends the budget exactly at the sustainable rate; ``burn ==
+14.4`` on a 99.9% availability SLO exhausts a 30-day budget in ~2 days.
+Alerting on the burn rate over a *single* window either pages too late
+(long window) or flaps on noise (short window); the standard remedy is
+multi-window confirmation — an objective is *burning* only when the burn
+rate exceeds the threshold over **every** configured window, i.e. the
+problem is both currently happening and sustained.
+
+:class:`SLOTracker` keeps a bounded event deque (timestamp, ok, latency)
+under an injectable clock (the serving fake-clock tests drive it
+deterministically), computes attainment and burn per objective per window,
+and surfaces the whole thing through ``Server.health()`` and — as labeled
+gauges — the Prometheus/JSON exporters.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["SLObjective", "SLOTracker", "DEFAULT_WINDOWS"]
+
+#: default rolling windows, seconds (short / medium / long)
+DEFAULT_WINDOWS = (60.0, 600.0, 3600.0)
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One service-level objective.
+
+    ``latency_threshold`` of ``None`` makes it an availability objective
+    (an event is good iff it succeeded); otherwise an event is good iff it
+    succeeded *and* finished within the threshold.
+    """
+
+    name: str
+    target: float                          # fraction of good events, e.g. 0.999
+    latency_threshold: float | None = None  # seconds, or None for availability
+
+    def __post_init__(self):
+        if not 0.0 < self.target < 1.0:
+            raise ValueError("target must be a fraction in (0, 1)")
+        if self.latency_threshold is not None and self.latency_threshold <= 0:
+            raise ValueError("latency_threshold must be positive")
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.target
+
+    def is_good(self, ok: bool, latency: float | None) -> bool:
+        if not ok:
+            return False
+        if self.latency_threshold is None:
+            return True
+        return latency is not None and latency <= self.latency_threshold
+
+
+def default_objectives(latency_threshold: float = 1.0) -> list[SLObjective]:
+    """The serving defaults: three-nines availability, 95% under threshold."""
+
+    return [
+        SLObjective(name="availability", target=0.999),
+        SLObjective(name="latency", target=0.95, latency_threshold=latency_threshold),
+    ]
+
+
+class SLOTracker:
+    """Rolling-window attainment and burn rates over a bounded event stream.
+
+    Parameters
+    ----------
+    objectives:
+        The SLOs to evaluate; :func:`default_objectives` when omitted.
+    windows:
+        Rolling window lengths in seconds, shortest first.
+    clock:
+        Monotonic time source (injectable for deterministic tests; the
+        server passes its own clock).
+    max_events:
+        Bound on retained events; the oldest drop first.  Attainment over a
+        window longer than the retained history is computed over what is
+        retained — fine for burn alerting, which cares about recent events.
+    burn_threshold:
+        An objective is *burning* when its burn rate exceeds this over
+        every window (multi-window confirmation).  ``1.0`` alerts exactly
+        when the budget is being spent faster than sustainable.
+    """
+
+    def __init__(
+        self,
+        objectives: list[SLObjective] | None = None,
+        windows: tuple = DEFAULT_WINDOWS,
+        clock=time.monotonic,
+        max_events: int = 65536,
+        burn_threshold: float = 1.0,
+    ):
+        if not windows:
+            raise ValueError("at least one window is required")
+        self.objectives = (
+            list(objectives) if objectives is not None else default_objectives()
+        )
+        self.windows = tuple(sorted(float(w) for w in windows))
+        self.clock = clock
+        self.burn_threshold = float(burn_threshold)
+        self._lock = threading.Lock()
+        self._events: deque = deque(maxlen=int(max_events))
+
+    # -- recording ----------------------------------------------------------------
+
+    def record(self, ok: bool, latency: float | None = None) -> None:
+        """Record one finished request (success/failure and optional latency)."""
+
+        with self._lock:
+            self._events.append((self.clock(), bool(ok), latency))
+
+    @property
+    def event_count(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def _window_events(self, window: float, now: float) -> list:
+        # Caller holds self._lock.
+        cutoff = now - window
+        return [e for e in self._events if e[0] >= cutoff]
+
+    def attainment(self, objective: SLObjective, window: float) -> float | None:
+        """Fraction of good events in the window, or ``None`` with no events."""
+
+        now = self.clock()
+        with self._lock:
+            events = self._window_events(window, now)
+        if not events:
+            return None
+        good = sum(1 for _, ok, latency in events if objective.is_good(ok, latency))
+        return good / len(events)
+
+    def burn_rate(self, objective: SLObjective, window: float) -> float | None:
+        """Error-budget burn rate over the window (``None`` with no events)."""
+
+        attained = self.attainment(objective, window)
+        if attained is None:
+            return None
+        return (1.0 - attained) / objective.error_budget
+
+    def burning(self, objective: SLObjective) -> bool:
+        """Multi-window confirmation: burning over *every* window."""
+
+        for window in self.windows:
+            burn = self.burn_rate(objective, window)
+            if burn is None or burn <= self.burn_threshold:
+                return False
+        return True
+
+    def alerts(self) -> list[dict]:
+        """Objectives currently burning, with their per-window burn rates."""
+
+        out = []
+        for objective in self.objectives:
+            if self.burning(objective):
+                out.append(
+                    {
+                        "objective": objective.name,
+                        "target": objective.target,
+                        "burn_rates": {
+                            self._window_label(w): self.burn_rate(objective, w)
+                            for w in self.windows
+                        },
+                    }
+                )
+        return out
+
+    def snapshot(self) -> dict:
+        """Attainment + burn per objective per window, plus alert status."""
+
+        now = self.clock()
+        with self._lock:
+            per_window = {w: self._window_events(w, now) for w in self.windows}
+        out = {}
+        for objective in self.objectives:
+            windows = {}
+            for window, events in per_window.items():
+                if events:
+                    good = sum(
+                        1 for _, ok, latency in events
+                        if objective.is_good(ok, latency)
+                    )
+                    attained = good / len(events)
+                    burn = (1.0 - attained) / objective.error_budget
+                else:
+                    attained = burn = None
+                windows[self._window_label(window)] = {
+                    "events": len(events),
+                    "attainment": attained,
+                    "burn_rate": burn,
+                }
+            burning = all(
+                w["burn_rate"] is not None and w["burn_rate"] > self.burn_threshold
+                for w in windows.values()
+            ) and bool(windows)
+            out[objective.name] = {
+                "target": objective.target,
+                "latency_threshold_seconds": objective.latency_threshold,
+                "windows": windows,
+                "burning": burning,
+            }
+        return out
+
+    def publish(self, registry) -> None:
+        """Mirror burn/attainment into labeled gauges of a metrics registry."""
+
+        snap = self.snapshot()
+        for name, data in snap.items():
+            for label, window in data["windows"].items():
+                labels = {"objective": name, "window": label}
+                if window["attainment"] is not None:
+                    registry.gauge("slo.attainment", labels=labels).set(
+                        window["attainment"]
+                    )
+                if window["burn_rate"] is not None:
+                    registry.gauge("slo.burn_rate", labels=labels).set(
+                        window["burn_rate"]
+                    )
+
+    @staticmethod
+    def _window_label(window: float) -> str:
+        return f"{int(window)}s" if window == int(window) else f"{window}s"

@@ -39,6 +39,8 @@ __all__ = [
     "Span",
     "Tracer",
     "span",
+    "span_events",
+    "render_spans",
     "enable_tracing",
     "disable_tracing",
     "get_tracer",
@@ -112,6 +114,60 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+def span_events(root: Span, epoch: float, now: float | None = None) -> list[dict]:
+    """Chrome trace-event JSON objects for one span tree.
+
+    Spans still open (``end is None`` — an in-flight trace snapshot) are
+    emitted with their duration-so-far and an ``in_flight: true`` arg, so a
+    dump taken while a straggler is stuck shows *where* it is stuck.
+    """
+
+    if now is None:
+        now = time.perf_counter()
+    events = []
+    for s in root.walk():
+        in_flight = s.end is None
+        args = {k: _jsonable(v) for k, v in s.attrs.items()}
+        if in_flight:
+            args["in_flight"] = True
+        events.append(
+            {
+                "name": s.name,
+                "ph": "X",
+                "ts": (s.start - epoch) * 1e6,
+                "dur": ((s.end if not in_flight else now) - s.start) * 1e6,
+                "pid": 0,
+                "tid": s.thread_id,
+                "args": args,
+            }
+        )
+    return events
+
+
+def render_spans(roots: list, now: float | None = None) -> list[str]:
+    """Indented text lines for span trees (open spans marked ``in flight``)."""
+
+    if now is None:
+        now = time.perf_counter()
+    lines: list[str] = []
+
+    def render(s: Span, depth: int) -> None:
+        attrs = "".join(
+            f" {k}={v}" for k, v in s.attrs.items() if not isinstance(v, (dict, list))
+        )
+        duration = (s.end if s.end is not None else now) - s.start
+        marker = "  [in flight]" if s.end is None else ""
+        lines.append(
+            f"{'  ' * depth}{s.name:<40s} {duration * 1e3:9.3f} ms{attrs}{marker}"
+        )
+        for child in s.children:
+            render(child, depth + 1)
+
+    for root in roots:
+        render(root, 0)
+    return lines
+
+
 class Tracer:
     """Thread-safe collector of hierarchical spans.
 
@@ -127,6 +183,9 @@ class Tracer:
         self._lock = threading.Lock()
         self._roots: list[Span] = []
         self._dropped_roots = 0
+        # thread ident -> that thread's live span stack (the same list object
+        # as its thread-local), so in-flight spans are visible to exporters
+        self._stacks: dict[int, list] = {}
         #: perf_counter origin of the trace (chrome timestamps are relative)
         self.epoch = time.perf_counter()
 
@@ -136,6 +195,8 @@ class Tracer:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
+            with self._lock:
+                self._stacks[threading.get_ident()] = stack
         return stack
 
     def _push(self, span_obj: Span) -> None:
@@ -174,6 +235,28 @@ class Tracer:
         with self._lock:
             return list(self._roots)
 
+    def active_roots(self) -> list[Span]:
+        """Root spans currently open, one per thread with live spans.
+
+        The returned spans are still being mutated by their owning threads;
+        treat them as read-only snapshots (exporters mark them in-flight).
+        """
+
+        with self._lock:
+            return [stack[0] for stack in self._stacks.values() if stack]
+
+    def current_root(self) -> Span | None:
+        """The calling thread's open root span, or ``None``."""
+
+        stack = getattr(self._local, "stack", None)
+        return stack[0] if stack else None
+
+    def current_span(self) -> Span | None:
+        """The calling thread's innermost open span, or ``None``."""
+
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
     def clear(self) -> None:
         with self._lock:
             self._roots.clear()
@@ -187,23 +270,21 @@ class Tracer:
 
     # -- exporters ----------------------------------------------------------------
 
-    def chrome_trace(self) -> list[dict]:
-        """Trace-event JSON objects (``ph: "X"`` complete events, microseconds)."""
+    def chrome_trace(self, include_active: bool = True) -> list[dict]:
+        """Trace-event JSON objects (``ph: "X"`` complete events, microseconds).
 
+        ``include_active`` also snapshots spans still open on any thread
+        (marked with an ``in_flight`` arg and their duration-so-far), so a
+        dump taken mid-request shows where a straggler currently is.
+        """
+
+        now = time.perf_counter()
         events = []
         for root in self.roots:
-            for s in root.walk():
-                events.append(
-                    {
-                        "name": s.name,
-                        "ph": "X",
-                        "ts": (s.start - self.epoch) * 1e6,
-                        "dur": s.duration * 1e6,
-                        "pid": 0,
-                        "tid": s.thread_id,
-                        "args": {k: _jsonable(v) for k, v in s.attrs.items()},
-                    }
-                )
+            events.extend(span_events(root, self.epoch, now=now))
+        if include_active:
+            for root in self.active_roots():
+                events.extend(span_events(root, self.epoch, now=now))
         return events
 
     def write_chrome_trace(self, path) -> None:
@@ -212,24 +293,21 @@ class Tracer:
         with open(path, "w") as handle:
             json.dump({"traceEvents": self.chrome_trace()}, handle, indent=2)
 
-    def span_tree(self, max_roots: int | None = None) -> str:
-        """Indented text rendering of the recorded span trees."""
+    def span_tree(
+        self, max_roots: int | None = None, include_active: bool = True
+    ) -> str:
+        """Indented text rendering of the recorded span trees.
 
-        lines: list[str] = []
+        ``include_active`` appends the span trees still open on any thread,
+        each open span marked ``[in flight]`` with its duration so far.
+        """
+
         roots = self.roots
         if max_roots is not None:
             roots = roots[-max_roots:]
-
-        def render(s: Span, depth: int) -> None:
-            attrs = "".join(
-                f" {k}={v}" for k, v in s.attrs.items() if not isinstance(v, (dict, list))
-            )
-            lines.append(f"{'  ' * depth}{s.name:<40s} {s.duration * 1e3:9.3f} ms{attrs}")
-            for child in s.children:
-                render(child, depth + 1)
-
-        for root in roots:
-            render(root, 0)
+        lines = render_spans(roots)
+        if include_active:
+            lines.extend(render_spans(self.active_roots()))
         if self._dropped_roots:
             lines.append(f"... ({self._dropped_roots} earlier roots dropped)")
         return "\n".join(lines)

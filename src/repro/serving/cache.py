@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import memory as obs_memory
 from .api import SolveRequest
 
 __all__ = ["CachedSolution", "SolutionCache"]
@@ -41,6 +42,12 @@ class CachedSolution:
     iterations: int
     converged: bool
     deltas: list = field(default_factory=list)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate retained bytes (solution array plus delta floats)."""
+
+        return int(self.solution.nbytes) + 8 * len(self.deltas)
 
 
 class SolutionCache:
@@ -107,14 +114,23 @@ class SolutionCache:
         """Insert (or refresh) the solved outcome for a request."""
 
         key = self.key_for(request)
-        if key in self._entries:
+        previous = self._entries.get(key)
+        if previous is not None:
             self._entries.move_to_end(key)
+            if previous is not entry:
+                obs_memory.sub(obs_memory.SOLUTION_CACHE, previous.nbytes)
+                obs_memory.add(obs_memory.SOLUTION_CACHE, entry.nbytes)
+        else:
+            obs_memory.add(obs_memory.SOLUTION_CACHE, entry.nbytes)
         self._entries[key] = entry
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            _, evicted = self._entries.popitem(last=False)
+            obs_memory.sub(obs_memory.SOLUTION_CACHE, evicted.nbytes)
             self.evictions += 1
 
     def clear(self) -> None:
+        for entry in self._entries.values():
+            obs_memory.sub(obs_memory.SOLUTION_CACHE, entry.nbytes)
         self._entries.clear()
 
     def stats(self) -> dict:

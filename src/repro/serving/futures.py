@@ -37,7 +37,16 @@ __all__ = [
 
 
 class SolveError(RuntimeError):
-    """Base class of every typed failure a :class:`SolveFuture` can carry."""
+    """Base class of every typed failure a :class:`SolveFuture` can carry.
+
+    When the server runs with a flight recorder, ``flight_record`` holds
+    the :class:`~repro.obs.flight.FlightRecord` retained for this failure
+    (tenant/fusion/occupancy attribution plus the span tree), so callers
+    holding only the exception can reach the trace.
+    """
+
+    #: flight record retained for this failure, or ``None``
+    flight_record = None
 
 
 class RetryExhaustedError(SolveError):

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import memory as obs_memory
 from .fused import FusedBatchRunner, FusedOutcome, FusedState
 
 __all__ = ["solver_fusion_key", "MegaSession", "MegaBatchExecutor"]
@@ -128,12 +129,21 @@ class MegaBatchExecutor:
                     )
             boundaries = [call[0] for _, call in pending]
             counts = [b.shape[0] for b in boundaries]
-            stacked = (
-                np.concatenate(boundaries, axis=0)
-                if len(boundaries) > 1
-                else boundaries[0]
-            )
-            predictions = self._predict(stacked, points, sessions=len(pending))
+            scratch_bytes = 0
+            if len(boundaries) > 1:
+                stacked = np.concatenate(boundaries, axis=0)
+                # Concatenation scratch is the mega path's only allocation
+                # beyond the solver's own; account it so bytes-per-request
+                # reflects occupancy.
+                scratch_bytes = int(stacked.nbytes)
+                obs_memory.add(obs_memory.MEGA_SCRATCH, scratch_bytes)
+            else:
+                stacked = boundaries[0]
+            try:
+                predictions = self._predict(stacked, points, sessions=len(pending))
+            finally:
+                if scratch_bytes:
+                    obs_memory.sub(obs_memory.MEGA_SCRATCH, scratch_bytes)
             advanced = []
             offset = 0
             for (generator, _), count in zip(pending, counts):
@@ -155,11 +165,15 @@ class MegaBatchExecutor:
                 self.on_call(total, sessions)
             return self.solver.predict(stacked, points)
         out = np.empty((total, points.shape[0]), dtype=float)
-        for start in range(0, total, cap):
-            stop = min(start + cap, total)
-            out[start:stop] = self.solver.predict(stacked[start:stop], points)
-            self.calls += 1
-            self.rows += stop - start
-            if self.on_call is not None:
-                self.on_call(stop - start, sessions)
-        return out
+        obs_memory.add(obs_memory.MEGA_SCRATCH, out.nbytes)
+        try:
+            for start in range(0, total, cap):
+                stop = min(start + cap, total)
+                out[start:stop] = self.solver.predict(stacked[start:stop], points)
+                self.calls += 1
+                self.rows += stop - start
+                if self.on_call is not None:
+                    self.on_call(stop - start, sessions)
+            return out
+        finally:
+            obs_memory.sub(obs_memory.MEGA_SCRATCH, out.nbytes)

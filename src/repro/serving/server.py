@@ -49,7 +49,10 @@ import numpy as np
 
 from ..mosaic.geometry import MosaicGeometry
 from ..mosaic.solvers import FDSubdomainSolver
-from ..obs.trace import span
+from ..obs import memory as obs_memory
+from ..obs.flight import FlightRecord, FlightRecorder
+from ..obs.slo import SLOTracker
+from ..obs.trace import get_tracer, span
 from .api import SolveRequest, SolveResult
 from .batcher import Batch, BatchPolicy, DynamicBatcher
 from .cache import CachedSolution, SolutionCache
@@ -89,6 +92,7 @@ class _PreparedBatch:
     loops: np.ndarray
     tols: np.ndarray
     budgets: np.ndarray
+    occupancy: int = 1
 
     @property
     def geometry(self):
@@ -186,6 +190,19 @@ class Server:
         Execute independent regions of compiled engine plans on a shared
         thread pool (:class:`repro.engine.ParallelExecutionPlan`); only
         meaningful with ``engine=True``.  Results stay bitwise identical.
+    flight:
+        Optional :class:`~repro.obs.flight.FlightRecorder` enabling
+        tail-sampling flight records: requests that finish slow (rolling
+        p99), were retried, failed, missed their deadline or straggled past
+        it retain their full span tree plus attribution (tenant, fusion
+        key, mega-batch occupancy, cache/store provenance).  ``None`` (the
+        default) disables retention; the per-request cost is then a single
+        attribute check.
+    slo:
+        The :class:`~repro.obs.slo.SLOTracker` fed by every request
+        completion/failure and surfaced by :meth:`health`.  A default
+        tracker (availability + 1s-latency objectives, 1m/10m/1h burn-rate
+        windows) on this server's clock is created when omitted.
 
     Observability
     -------------
@@ -225,6 +242,8 @@ class Server:
         poll_interval_seconds: float = 0.01,
         mega_batch: bool = True,
         engine_parallel: bool = False,
+        flight: FlightRecorder | None = None,
+        slo: SLOTracker | None = None,
     ):
         self.solver_factory = solver_factory
         self.policy = policy or BatchPolicy()
@@ -271,6 +290,8 @@ class Server:
 
         self.mega_batch = bool(mega_batch)
         self.engine_parallel = bool(engine_parallel)
+        self.flight = flight
+        self.slo = slo if slo is not None else SLOTracker(clock=clock)
 
         self._lock = threading.RLock()
         self._work_done = threading.Condition(self._lock)
@@ -376,6 +397,7 @@ class Server:
 
             if self.admission is not None and not self.admission.admit(request):
                 self.stats.record_rejection()
+                self.slo.record(False)
                 future._set_exception(
                     QuotaExceededError(
                         f"tenant {request.tenant!r} is over its admission quota; "
@@ -387,6 +409,11 @@ class Server:
             with self._lock:
                 self._inflight_ids.add(request.request_id)
                 self._futures[request.request_id] = future
+            # Admitted: the anchor-row payload is now retained until the
+            # waiter resolves (released in _finish_waiter/_reject_waiter).
+            obs_memory.add(
+                obs_memory.REQUEST_PAYLOADS, int(request.boundary_loop.nbytes)
+            )
 
             with span("serving.claim") as claim_span:
                 claim = self.store.claim(request, waiter)
@@ -396,7 +423,10 @@ class Server:
                 # Idempotent replay: the canonical key was solved before;
                 # resolve from the stored result, bitwise-identical.
                 self.stats.record_store_hit()
-                self._finish_waiter(waiter, claim.entry.result, cache_hit=True, batch_size=0)
+                self._finish_waiter(
+                    waiter, claim.entry.result, cache_hit=True, batch_size=0,
+                    store_hit=True,
+                )
                 return future
             if not claim.owner:
                 # Duplicate of an in-flight solve: the waiter is attached to
@@ -950,7 +980,8 @@ class Server:
                 waiters.extend(self.store.fulfill(request, entry))
             for waiter in waiters:
                 self._finish_waiter(
-                    waiter, entry, cache_hit=False, batch_size=batch_size
+                    waiter, entry, cache_hit=False, batch_size=batch_size,
+                    occupancy=prepared.occupancy,
                 )
 
     # -- mega-batch execution ------------------------------------------------------
@@ -990,6 +1021,7 @@ class Server:
                 return  # waiters already resolved (failed or expired)
             prepared, outcomes = results
             for p, outs in zip(prepared, outcomes):
+                p.occupancy = len(prepared)
                 self.stats.record_fused_run(len(p.solve_requests))
                 with span("serving.postprocess"):
                     self._postprocess(p, outs)
@@ -1098,17 +1130,28 @@ class Server:
                 self._reject_waiter(waiter, error)
 
     def _finish_waiter(
-        self, waiter: Waiter, entry: CachedSolution, cache_hit: bool, batch_size: int
+        self,
+        waiter: Waiter,
+        entry: CachedSolution,
+        cache_hit: bool,
+        batch_size: int,
+        store_hit: bool = False,
+        occupancy: int = 1,
     ) -> None:
         now = self.clock()
         deadline = waiter.deadline_at
         if deadline is not None and now > deadline:
+            # The solve finished, but past the waiter's deadline: a straggler,
+            # not a fail-fast — classified separately in the flight recorder.
             self._reject_waiter(
                 waiter,
                 DeadlineExceededError(
                     f"request {waiter.request.request_id!r} completed after its "
                     f"{waiter.request.deadline_seconds}s deadline"
                 ),
+                reason="straggler",
+                batch_size=batch_size,
+                occupancy=occupancy,
             )
             return
         latency = now - waiter.submitted_at
@@ -1127,16 +1170,141 @@ class Server:
             self._inflight_ids.discard(waiter.request.request_id)
             self._completed[waiter.request.request_id] = result
             self._work_done.notify_all()
+        obs_memory.sub(
+            obs_memory.REQUEST_PAYLOADS, int(waiter.request.boundary_loop.nbytes)
+        )
         if self.admission is not None:
             self.admission.release(waiter.request.tenant)
+        self.slo.record(True, latency)
+        if self.flight is not None:
+            # Decide-then-observe: the slowness verdict uses the threshold
+            # from *previous* samples only, so the retained set is a pure
+            # function of the request stream (deterministic under replay).
+            reason = None
+            if self.store.attempts(waiter.request) > 0:
+                reason = "retried"
+            elif self.flight.is_slow(latency):
+                reason = "slow"
+            if reason is not None:
+                self._retain_flight(
+                    waiter, reason, latency=latency, cache_hit=cache_hit,
+                    store_hit=store_hit, batch_size=batch_size,
+                    occupancy=occupancy,
+                )
+            self.flight.observe_latency(latency)
         waiter.future._set_result(result)
 
-    def _reject_waiter(self, waiter: Waiter, error: BaseException) -> None:
+    def _reject_waiter(
+        self,
+        waiter: Waiter,
+        error: BaseException,
+        reason: str | None = None,
+        batch_size: int = 0,
+        occupancy: int = 0,
+    ) -> None:
         if isinstance(error, DeadlineExceededError):
             self.stats.record_timeout()
         with self._lock:
             self._inflight_ids.discard(waiter.request.request_id)
             self._work_done.notify_all()
+        obs_memory.sub(
+            obs_memory.REQUEST_PAYLOADS, int(waiter.request.boundary_loop.nbytes)
+        )
         if self.admission is not None:
             self.admission.release(waiter.request.tenant)
+        latency = self.clock() - waiter.submitted_at
+        self.slo.record(False, latency)
+        if self.flight is not None:
+            if reason is None:
+                reason = (
+                    "deadline"
+                    if isinstance(error, DeadlineExceededError)
+                    else "failed"
+                )
+            record = self._retain_flight(
+                waiter, reason, latency=latency, error=error,
+                batch_size=batch_size, occupancy=occupancy,
+            )
+            # Let callers holding only the exception reach the trace.
+            error.flight_record = record
         waiter.future._set_exception(error)
+
+    def _retain_flight(
+        self,
+        waiter: Waiter,
+        reason: str,
+        latency: float | None = None,
+        error: BaseException | None = None,
+        cache_hit: bool = False,
+        store_hit: bool = False,
+        batch_size: int = 0,
+        occupancy: int = 0,
+    ) -> FlightRecord:
+        """Retain one tail-sampled flight record with full attribution."""
+
+        request = waiter.request
+        with self._lock:
+            fusion = self._compat_key(request.group_key)
+        tracer = get_tracer()
+        record = FlightRecord(
+            request_id=request.request_id,
+            tenant=request.tenant,
+            reason=reason,
+            latency_seconds=latency,
+            error=repr(error) if error is not None else None,
+            attrs={
+                "fusion_key": repr(fusion) if fusion is not None else None,
+                "mega_occupancy": int(occupancy),
+                "batch_size": int(batch_size),
+                "cache_hit": bool(cache_hit),
+                "store_hit": bool(store_hit),
+                "attempts": self.store.attempts(request),
+            },
+            exemplars={
+                "latency_p50_seconds": self.stats.latency_percentile(50),
+                "latency_p99_seconds": self.stats.latency_percentile(99),
+                "pending": self.pending,
+            },
+            spans=tracer.current_root() if tracer is not None else None,
+        )
+        self.flight.retain(record)
+        self.stats.record_flight(reason)
+        return record
+
+    # -- health --------------------------------------------------------------------
+
+    def health(self) -> dict:
+        """One-call health snapshot: SLO burn rates, memory, flight summary.
+
+        Returns ``{"status", "alerts", "slo", "pending", "store"}`` plus,
+        when memory accounting is enabled, ``"memory"`` (per-owner
+        live/peak byte gauges) and ``"bytes_per_request"``, and, with a
+        flight recorder attached, ``"flight"`` (retention counts and the
+        current tail-latency threshold).  ``status`` is ``"burning"`` when
+        any objective's burn rate exceeds its threshold over *every*
+        window, else ``"ok"``.  The SLO and memory gauges are also
+        published into ``stats.registry`` so the Prometheus/JSON exporters
+        carry them.
+        """
+
+        alerts = self.slo.alerts()
+        snapshot = {
+            "status": "burning" if alerts else "ok",
+            "alerts": alerts,
+            "slo": self.slo.snapshot(),
+            "pending": self.pending,
+            "store": self.store.stats(),
+        }
+        self.slo.publish(self.stats.registry)
+        accountant = obs_memory.get_accountant()
+        if accountant is not None:
+            snapshot["memory"] = accountant.snapshot()
+            per_request = accountant.bytes_per_request(
+                self.stats.completed_requests
+            )
+            snapshot["bytes_per_request"] = per_request
+            accountant.publish(self.stats.registry)
+            self.stats.registry.gauge("serving.bytes_per_request").set(per_request)
+        if self.flight is not None:
+            snapshot["flight"] = self.flight.summary()
+        return snapshot

@@ -144,6 +144,13 @@ class ServingStats:
     def record_failure(self) -> None:
         self._failures.inc()
 
+    def record_flight(self, reason: str) -> None:
+        """One tail-sampled flight record retained for ``reason``."""
+
+        self.registry.counter(
+            "serving.flight_records", labels={"reason": reason}
+        ).inc()
+
     def record_store_hit(self) -> None:
         # A store replay answers the request without a solve, exactly like a
         # cache hit; it counts in both so cache_hit_rate stays meaningful.

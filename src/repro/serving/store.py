@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import memory as obs_memory
 from .api import SolveRequest
 from .cache import CachedSolution
 from .futures import SolveFuture
@@ -272,15 +273,37 @@ class RequestStore:
             entry.attempts += 1
             return entry.attempts
 
+    def attempts(self, request: SolveRequest) -> int:
+        """Solve attempts recorded against a key (in flight or settled)."""
+
+        key = self.key_for(request)
+        with self._lock:
+            entry = self._inflight.get(key) or self._settled.get(key)
+            return entry.attempts if entry is not None else 0
+
     # -- internals ----------------------------------------------------------------
+
+    @staticmethod
+    def _entry_bytes(entry: StoreEntry) -> int:
+        # Only DONE entries retain array payloads worth accounting.
+        if entry.state == DONE and entry.result is not None:
+            return entry.result.nbytes
+        return 0
 
     def _settle(self, key: tuple, entry: StoreEntry) -> None:
         # Caller holds self._lock.
-        if key in self._settled:
+        previous = self._settled.get(key)
+        if previous is not None:
             self._settled.move_to_end(key)
+            if (nbytes := self._entry_bytes(previous)):
+                obs_memory.sub(obs_memory.REQUEST_STORE, nbytes)
+        if (nbytes := self._entry_bytes(entry)):
+            obs_memory.add(obs_memory.REQUEST_STORE, nbytes)
         self._settled[key] = entry
         while len(self._settled) > self.capacity:
-            self._settled.popitem(last=False)
+            _, evicted = self._settled.popitem(last=False)
+            if (nbytes := self._entry_bytes(evicted)):
+                obs_memory.sub(obs_memory.REQUEST_STORE, nbytes)
             self.evictions += 1
 
     def stats(self) -> dict:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.obs import disable_tracing
+from repro.obs import disable_memory_accounting, disable_tracing
 
 
 @pytest.fixture(autouse=True)
@@ -11,3 +11,11 @@ def _tracing_off_after_test():
 
     yield
     disable_tracing()
+
+
+@pytest.fixture(autouse=True)
+def _memory_accounting_off_after_test():
+    """Memory accounting is global state too; reset between tests."""
+
+    yield
+    disable_memory_accounting()

@@ -1,0 +1,113 @@
+"""Flight recorder: tail sampling, bounded ring, Chrome-trace dump."""
+
+import json
+
+import pytest
+
+from repro.obs import FlightRecord, FlightRecorder, enable_tracing, span
+
+
+def _record(request_id="r1", reason="slow", **kwargs):
+    return FlightRecord(
+        request_id=request_id, tenant="acme", reason=reason, **kwargs
+    )
+
+
+class TestTailSampling:
+    def test_no_threshold_until_min_samples(self):
+        recorder = FlightRecorder(min_samples=8)
+        for _ in range(7):
+            recorder.observe_latency(0.010)
+        assert recorder.latency_threshold() is None
+        assert not recorder.is_slow(999.0)
+        recorder.observe_latency(0.010)
+        assert recorder.latency_threshold() is not None
+
+    def test_rolling_quantile_flags_the_tail(self):
+        recorder = FlightRecorder(min_samples=10, latency_quantile=90.0)
+        for _ in range(100):
+            recorder.observe_latency(0.010)
+        assert not recorder.is_slow(0.010)
+        assert recorder.is_slow(0.100)
+
+    def test_decide_then_observe_is_order_deterministic(self):
+        # The verdict for a latency depends only on *previous* samples, so
+        # identical streams give identical retained sets.
+        def run():
+            recorder = FlightRecorder(min_samples=4, latency_quantile=50.0)
+            verdicts = []
+            for latency in (0.01, 0.01, 0.01, 0.01, 0.5, 0.01, 0.6):
+                verdicts.append(recorder.is_slow(latency))
+                recorder.observe_latency(latency)
+            return verdicts
+
+        assert run() == run()
+
+
+class TestRetention:
+    def test_ring_is_bounded(self):
+        recorder = FlightRecorder(capacity=3)
+        for i in range(5):
+            recorder.retain(_record(request_id=f"r{i}"))
+        records = recorder.records()
+        assert len(records) == 3
+        assert [r.request_id for r in records] == ["r2", "r3", "r4"]
+        assert recorder.summary()["dropped"] == 2
+
+    def test_unknown_reason_rejected(self):
+        recorder = FlightRecorder()
+        with pytest.raises(ValueError):
+            recorder.retain(_record(reason="meh"))
+
+    def test_records_filter_by_reason_and_counts(self):
+        recorder = FlightRecorder()
+        recorder.retain(_record(request_id="a", reason="slow"))
+        recorder.retain(_record(request_id="b", reason="failed"))
+        recorder.retain(_record(request_id="c", reason="failed"))
+        assert [r.request_id for r in recorder.records("failed")] == ["b", "c"]
+        counts = recorder.counts()
+        assert counts["slow"] == 1 and counts["failed"] == 2
+        assert counts["deadline"] == 0
+
+    def test_as_dict_is_json_serializable(self):
+        record = _record(latency_seconds=0.5, attrs={"batch_size": 4})
+        json.dumps(record.as_dict())
+
+    def test_clear(self):
+        recorder = FlightRecorder()
+        recorder.retain(_record())
+        recorder.clear()
+        assert recorder.records() == []
+        assert not any(recorder.counts().values())
+
+
+class TestSpanCapture:
+    def test_record_carries_span_tree(self):
+        tracer = enable_tracing()
+        with span("serving.batch"):
+            with span("serving.fused_solve"):
+                pass
+        recorder = FlightRecorder()
+        recorder.retain(_record(spans=tracer.roots[0]))
+        record = recorder.records()[0]
+        tree = record.span_tree()
+        assert "serving.batch" in tree
+        assert "serving.fused_solve" in tree
+        assert record.as_dict()["span_count"] == 2
+
+    def test_chrome_trace_dump(self, tmp_path):
+        tracer = enable_tracing()
+        with span("serving.batch"):
+            pass
+        recorder = FlightRecorder()
+        recorder.retain(
+            _record(request_id="r9", reason="deadline", spans=tracer.roots[0])
+        )
+        path = tmp_path / "flight.json"
+        recorder.write_chrome_trace(path)
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert events and events[0]["name"] == "serving.batch"
+        assert events[0]["args"]["flight.request_id"] == "r9"
+        assert events[0]["args"]["flight.reason"] == "deadline"
+        assert payload["metadata"]["summary"]["retained"] == 1

@@ -212,3 +212,97 @@ class TestExporters:
         assert "serving_latency_seconds_sum" in text
         # exposition format: every metric carries TYPE metadata
         assert "# TYPE serving_requests_total counter" in text
+
+
+class TestLabeledMetrics:
+    def test_labeled_series_are_distinct_objects(self):
+        reg = MetricsRegistry()
+        a = reg.counter("flight.records", labels={"reason": "slow"})
+        b = reg.counter("flight.records", labels={"reason": "failed"})
+        assert a is not b
+        assert a is reg.counter("flight.records", labels={"reason": "slow"})
+        a.inc(2)
+        b.inc(1)
+        snap = reg.snapshot()
+        assert snap["flight.records{reason=slow}"]["value"] == 2
+        assert snap["flight.records{reason=slow}"]["labels"] == {"reason": "slow"}
+
+    def test_unlabeled_snapshot_shape_is_unchanged(self):
+        reg = MetricsRegistry()
+        reg.counter("plain").inc()
+        snap = reg.snapshot()["plain"]
+        assert "labels" not in snap and "name" not in snap
+
+    def test_merge_preserves_labels(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.counter("c", labels={"k": "v"}).inc(1)
+        b.counter("c", labels={"k": "v"}).inc(2)
+        merged = MetricsRegistry()
+        merged.merge(a.snapshot())
+        merged.merge(b.snapshot())
+        assert merged.counter("c", labels={"k": "v"}).value == 3
+
+
+class TestPrometheusEscaping:
+    """Satellite: label values escape, metric/label names sanitize."""
+
+    @staticmethod
+    def _parse_labels(line: str) -> dict:
+        # Minimal exposition-format label parser for the round-trip check.
+        body = line[line.index("{") + 1 : line.rindex("}")]
+        out = {}
+        i = 0
+        while i < len(body):
+            eq = body.index("=", i)
+            name = body[i:eq]
+            assert body[eq + 1] == '"'
+            j = eq + 2
+            value = []
+            while body[j] != '"':
+                if body[j] == "\\":
+                    escape = body[j + 1]
+                    value.append({"n": "\n", "\\": "\\", '"': '"'}[escape])
+                    j += 2
+                else:
+                    value.append(body[j])
+                    j += 1
+            out[name] = "".join(value)
+            i = j + 2  # skip closing quote and comma
+        return out
+
+    def test_label_values_round_trip(self):
+        hostile = 'multi\nline "quoted" back\\slash'
+        reg = MetricsRegistry()
+        reg.gauge("memory.live_bytes", labels={"owner": hostile}).set(7.0)
+        text = to_prometheus(reg.snapshot())
+        sample = next(
+            line for line in text.splitlines() if line.startswith("memory_live_bytes{")
+        )
+        assert "\n" not in sample  # newline must be escaped, not emitted
+        assert self._parse_labels(sample) == {"owner": hostile}
+
+    def test_metric_and_label_names_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("serving.flight-records", labels={"bad-name.dot": "x"}).inc()
+        text = to_prometheus(reg.snapshot())
+        assert 'serving_flight_records_total{bad_name_dot="x"} 1' in text
+        assert "# TYPE serving_flight_records_total counter" in text
+
+    def test_one_type_line_across_labeled_series(self):
+        reg = MetricsRegistry()
+        reg.counter("flight.records", labels={"reason": "slow"}).inc()
+        reg.counter("flight.records", labels={"reason": "failed"}).inc()
+        text = to_prometheus(reg.snapshot())
+        assert text.count("# TYPE flight_records_total counter") == 1
+        assert 'flight_records_total{reason="slow"} 1' in text
+        assert 'flight_records_total{reason="failed"} 1' in text
+
+    def test_labeled_histogram_merges_quantile_label(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency.seconds", labels={"tenant": "acme"})
+        for v in (0.1, 0.2):
+            h.observe(v)
+        text = to_prometheus(reg.snapshot())
+        assert 'latency_seconds{quantile="0.5",tenant="acme"}' in text
+        assert 'latency_seconds_count{tenant="acme"} 2' in text

@@ -1,0 +1,132 @@
+"""SLO tracker: attainment, multi-window burn rates, alerting, publishing."""
+
+import pytest
+
+from repro.obs import SLObjective, SLOTracker
+from repro.obs.metrics import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def availability(target=0.9):
+    return SLObjective(name="availability", target=target)
+
+
+class TestObjective:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLObjective(name="bad", target=1.5)
+        with pytest.raises(ValueError):
+            SLObjective(name="bad", target=0.9, latency_threshold=0.0)
+
+    def test_latency_objective_needs_fast_success(self):
+        objective = SLObjective(name="lat", target=0.9, latency_threshold=0.25)
+        assert objective.is_good(True, 0.1)
+        assert not objective.is_good(True, 0.5)
+        assert not objective.is_good(False, 0.1)
+        assert not objective.is_good(True, None)
+
+    def test_error_budget(self):
+        assert availability(0.99).error_budget == pytest.approx(0.01)
+
+
+class TestBurnRates:
+    def test_attainment_and_burn(self):
+        clock = FakeClock()
+        tracker = SLOTracker(
+            objectives=[availability(0.9)], windows=(10.0,), clock=clock
+        )
+        for ok in (True, True, True, False):
+            tracker.record(ok)
+        objective = tracker.objectives[0]
+        assert tracker.attainment(objective, 10.0) == pytest.approx(0.75)
+        # burn = (1 - 0.75) / (1 - 0.9) = 2.5
+        assert tracker.burn_rate(objective, 10.0) == pytest.approx(2.5)
+
+    def test_no_events_is_none_not_burning(self):
+        tracker = SLOTracker(objectives=[availability()], clock=FakeClock())
+        objective = tracker.objectives[0]
+        assert tracker.attainment(objective, 60.0) is None
+        assert tracker.burn_rate(objective, 60.0) is None
+        assert not tracker.burning(objective)
+        assert tracker.alerts() == []
+
+    def test_events_age_out_of_the_window(self):
+        clock = FakeClock()
+        tracker = SLOTracker(
+            objectives=[availability(0.9)], windows=(10.0,), clock=clock
+        )
+        tracker.record(False)
+        clock.now = 100.0
+        for _ in range(3):
+            tracker.record(True)
+        objective = tracker.objectives[0]
+        assert tracker.attainment(objective, 10.0) == pytest.approx(1.0)
+
+    def test_multi_window_confirmation(self):
+        # A short burst only trips the short window; sustained failure trips
+        # both and only then does the tracker alert.
+        clock = FakeClock()
+        tracker = SLOTracker(
+            objectives=[availability(0.8)], windows=(10.0, 100.0), clock=clock
+        )
+        objective = tracker.objectives[0]
+        clock.now = 50.0
+        for _ in range(50):
+            tracker.record(True)
+        clock.now = 99.0
+        for _ in range(10):
+            tracker.record(False)
+        # Short window sees only failures; long window is diluted by successes.
+        assert tracker.burn_rate(objective, 10.0) > 1.0
+        assert tracker.burn_rate(objective, 100.0) <= 1.0
+        assert not tracker.burning(objective)
+        assert tracker.alerts() == []
+        # Now make the failure sustained: both windows burn.
+        for _ in range(80):
+            tracker.record(False)
+        assert tracker.burning(objective)
+        alerts = tracker.alerts()
+        assert alerts[0]["objective"] == "availability"
+        assert set(alerts[0]["burn_rates"]) == {"10s", "100s"}
+
+    def test_bounded_events(self):
+        tracker = SLOTracker(
+            objectives=[availability()], clock=FakeClock(), max_events=16
+        )
+        for _ in range(100):
+            tracker.record(True)
+        assert tracker.event_count == 16
+
+
+class TestSnapshotAndPublish:
+    def test_snapshot_shape(self):
+        clock = FakeClock()
+        tracker = SLOTracker(windows=(60.0,), clock=clock)
+        tracker.record(True, latency=0.01)
+        tracker.record(False, latency=None)
+        snap = tracker.snapshot()
+        assert set(snap) == {"availability", "latency"}
+        window = snap["availability"]["windows"]["60s"]
+        assert window["events"] == 2
+        assert window["attainment"] == pytest.approx(0.5)
+        assert snap["availability"]["burning"] in (True, False)
+
+    def test_publish_labeled_gauges(self):
+        clock = FakeClock()
+        tracker = SLOTracker(
+            objectives=[availability(0.9)], windows=(60.0,), clock=clock
+        )
+        tracker.record(True)
+        registry = MetricsRegistry()
+        tracker.publish(registry)
+        snap = registry.snapshot()
+        entry = snap["slo.attainment{objective=availability,window=60s}"]
+        assert entry["value"] == pytest.approx(1.0)
+        assert entry["labels"] == {"objective": "availability", "window": "60s"}

@@ -182,3 +182,64 @@ class TestDisabledPath:
         assert get_tracer() is custom
         disable_tracing()
         assert get_tracer() is None
+
+
+class TestInFlightSpans:
+    """Satellite: dumps taken mid-request show where a straggler is stuck."""
+
+    def test_current_root_and_current_span(self):
+        tracer = enable_tracing()
+        assert tracer.current_root() is None
+        with span("request") as outer:
+            with span("solve") as inner:
+                assert tracer.current_root() is outer
+                assert tracer.current_span() is inner
+        assert tracer.current_root() is None
+
+    def test_active_roots_across_threads(self):
+        tracer = enable_tracing()
+        started = threading.Event()
+        release = threading.Event()
+
+        def worker():
+            with span("worker.request"):
+                started.set()
+                release.wait(timeout=5.0)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        started.wait(timeout=5.0)
+        try:
+            names = [root.name for root in tracer.active_roots()]
+            assert "worker.request" in names
+        finally:
+            release.set()
+            thread.join()
+        assert tracer.active_roots() == []
+
+    def test_span_tree_marks_open_spans(self):
+        tracer = enable_tracing()
+        with span("request"):
+            with span("stuck"):
+                tree = tracer.span_tree()
+        assert tree.count("[in flight]") == 2
+        assert "stuck" in tree
+        # After completion the marker is gone.
+        assert "[in flight]" not in tracer.span_tree()
+
+    def test_chrome_trace_includes_open_spans(self):
+        tracer = enable_tracing()
+        with span("request"):
+            events = tracer.chrome_trace()
+            assert any(
+                e["name"] == "request" and e["args"].get("in_flight") for e in events
+            )
+            # ... and can be excluded for completed-only dumps.
+            assert tracer.chrome_trace(include_active=False) == []
+
+    def test_open_span_duration_uses_now(self):
+        tracer = enable_tracing()
+        with span("request"):
+            tree = tracer.span_tree()
+        # The open-span rendering shows a non-negative running duration.
+        assert "ms" in tree

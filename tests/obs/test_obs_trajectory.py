@@ -26,12 +26,14 @@ def rt(tmp_path, monkeypatch):
 
 
 def _write_artifacts(rt, forward=3.0, taylor=2.2, rect=(1.0, 1.0), l_shape=(1.2, 1.0),
-                     megabatch=1.5):
+                     megabatch=1.5, tail=1.2, bytes_pr=500_000.0):
     rt.ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
     with open(rt.ARTIFACT_DIR / "engine_forward.json", "w") as h:
         json.dump({"serving_geomean_speedup": forward}, h)
     with open(rt.ARTIFACT_DIR / "megabatch_serving.json", "w") as h:
         json.dump({"speedup": megabatch}, h)
+    with open(rt.ARTIFACT_DIR / "serving_tail.json", "w") as h:
+        json.dump({"p99_over_p50": tail, "bytes_per_request": bytes_pr}, h)
     with open(rt.ARTIFACT_DIR / "taylor_engine.json", "w") as h:
         json.dump({"geomean_speedup": taylor}, h)
     with open(rt.ARTIFACT_DIR / "engine_serving.json", "w") as h:
@@ -52,8 +54,8 @@ class TestRecord:
             assert metric.baseline_path.exists()
             data = json.loads(metric.baseline_path.read_text())
             assert data["metric"] == metric.name
-            assert data["unit"] == "x"
-            assert data["higher_is_better"] is True
+            assert data["unit"] == metric.unit
+            assert data["higher_is_better"] is metric.higher_is_better
             assert data["tolerance"] == metric.tolerance
             (entry,) = data["trajectory"]
             assert entry["commit"] == "abc1234"
@@ -109,6 +111,26 @@ class TestCheck:
         assert rt.check() == 0
         # 40% is out.
         _write_artifacts(rt, rect=(0.6, 1.0))
+        assert rt.check() == 1
+
+    def test_lower_is_better_metrics_gate_on_growth(self, rt):
+        _write_artifacts(rt, bytes_pr=500_000.0)
+        rt.record(commit="seed")
+        # Shrinking bytes-per-request is an improvement, never a failure.
+        _write_artifacts(rt, bytes_pr=300_000.0)
+        assert rt.check() == 0
+        # Growth within the 25% tolerance passes; beyond it fails.
+        _write_artifacts(rt, bytes_pr=500_000.0 * 1.2)
+        assert rt.check() == 0
+        _write_artifacts(rt, bytes_pr=500_000.0 * 1.3)
+        assert rt.check() == 1
+
+    def test_tail_ratio_tolerates_noise_but_not_blowups(self, rt):
+        _write_artifacts(rt, tail=1.2)
+        rt.record(commit="seed")
+        _write_artifacts(rt, tail=1.2 * 1.5)  # 50% < 75% tolerance
+        assert rt.check() == 0
+        _write_artifacts(rt, tail=1.2 * 2.0)  # 100% > 75%
         assert rt.check() == 1
 
     def test_missing_artifact_after_baseline_fails(self, rt):
