@@ -54,6 +54,9 @@ _SERVING_EXPORTS = (
     "TenantQuota",
     "FaultInjector",
     "FaultSchedule",
+    "RequestJournal",
+    "WorkerSupervisor",
+    "BreakerPolicy",
 )
 
 #: composite-domain names re-exported at the package top level

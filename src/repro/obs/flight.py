@@ -39,7 +39,7 @@ from .trace import Span, render_spans, span_events
 __all__ = ["FlightRecord", "FlightRecorder", "RETENTION_REASONS"]
 
 #: every reason a record can be retained for
-RETENTION_REASONS = ("slow", "retried", "failed", "deadline", "straggler")
+RETENTION_REASONS = ("slow", "retried", "failed", "deadline", "straggler", "requeued")
 
 
 @dataclass

@@ -75,11 +75,25 @@ class OwnerStats:
 
 
 class MemoryAccountant:
-    """Thread-safe per-owner byte accounting with live/peak/cumulative gauges."""
+    """Thread-safe per-owner byte accounting with live/peak/cumulative gauges.
 
-    def __init__(self):
+    Parameters
+    ----------
+    budget_bytes:
+        Optional live-bytes budget.  Setting one turns the accountant from a
+        pure observer into the signal driving graceful degradation: the
+        serving :class:`~repro.serving.store.AdmissionController` compares
+        :meth:`pressure` (total live bytes over budget) against per-priority
+        shed thresholds and sheds lowest-priority tenants first as live
+        bytes approach the budget.
+    """
+
+    def __init__(self, budget_bytes: int | None = None):
         self._lock = threading.Lock()
         self._owners: dict[str, OwnerStats] = {}
+        self._budget: int | None = None
+        if budget_bytes is not None:
+            self.set_budget(budget_bytes)
 
     # -- recording ----------------------------------------------------------------
 
@@ -156,6 +170,44 @@ class MemoryAccountant:
         with self._lock:
             return sum(s.allocs + s.frees for s in self._owners.values())
 
+    def set_budget(self, budget_bytes: int | None) -> None:
+        """Install (or clear, with ``None``) the live-bytes budget."""
+
+        if budget_bytes is not None:
+            budget_bytes = int(budget_bytes)
+            if budget_bytes <= 0:
+                raise ValueError("budget_bytes must be positive (or None)")
+        with self._lock:
+            self._budget = budget_bytes
+
+    @property
+    def budget_bytes(self) -> int | None:
+        with self._lock:
+            return self._budget
+
+    def headroom_bytes(self) -> int | None:
+        """Budget minus total live bytes (floored at 0), or ``None`` unbudgeted."""
+
+        with self._lock:
+            if self._budget is None:
+                return None
+            live = sum(s.live for s in self._owners.values())
+            return max(0, self._budget - live)
+
+    def pressure(self) -> float | None:
+        """Total live bytes as a fraction of the budget, or ``None`` unbudgeted.
+
+        Exceeding the budget returns values above 1.0 — shed decisions
+        compare this against thresholds in (0, 1], so over-budget pressure
+        sheds every priority.
+        """
+
+        with self._lock:
+            if self._budget is None:
+                return None
+            live = sum(s.live for s in self._owners.values())
+            return live / self._budget
+
     def bytes_per_request(self, completed_requests: int) -> float:
         """Machine-independent cumulative-bytes-per-request ratio."""
 
@@ -168,12 +220,18 @@ class MemoryAccountant:
 
         with self._lock:
             owners = {name: stats.as_dict() for name, stats in sorted(self._owners.items())}
-        return {
+            budget = self._budget
+        snap = {
             "owners": owners,
             "total_live_bytes": sum(o["live_bytes"] for o in owners.values()),
             "total_peak_bytes": sum(o["peak_bytes"] for o in owners.values()),
             "total_allocated_bytes": sum(o["allocated_bytes"] for o in owners.values()),
         }
+        if budget is not None:
+            snap["budget_bytes"] = budget
+            snap["headroom_bytes"] = max(0, budget - snap["total_live_bytes"])
+            snap["pressure"] = snap["total_live_bytes"] / budget
+        return snap
 
     def publish(self, registry) -> None:
         """Mirror the gauges into a :class:`~repro.obs.metrics.MetricsRegistry`.
@@ -190,6 +248,12 @@ class MemoryAccountant:
             registry.gauge("memory.allocated_bytes", labels=labels).set(
                 stats["allocated_bytes"]
             )
+        if "budget_bytes" in snap:
+            # Budget/headroom/pressure ride the export so dashboards and
+            # health() agree on when shedding starts.
+            registry.gauge("memory.budget_bytes").set(snap["budget_bytes"])
+            registry.gauge("memory.headroom_bytes").set(snap["headroom_bytes"])
+            registry.gauge("memory.pressure").set(snap["pressure"])
 
     def report(self) -> str:
         """Terminal table of per-owner live/peak/cumulative bytes."""

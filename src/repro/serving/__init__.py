@@ -17,6 +17,14 @@ per-tenant admission control — with the classic synchronous ``submit`` /
 deterministically testable through the flag-guarded fault hooks of
 :mod:`.faults`, and :mod:`.stats` reports latency, cache, batching and
 retry/timeout/rejection counters.
+
+The durability/supervision layer makes the pipeline survive crashes: the
+store journals every transition write-ahead (:mod:`.journal`) so a restarted
+server replays completed keys bitwise-identically, a heartbeat supervisor
+with per-backend circuit breakers (:mod:`.supervisor`) requeues the work of
+crashed or hung workers exactly-once and fast-fails requests to failing
+backends, and memory-budget-driven admission sheds lowest-priority tenants
+first as live bytes approach the budget.
 """
 
 from .api import RequestValidationError, SolveRequest, SolveResult
@@ -26,27 +34,44 @@ from .estimator import ServingEstimator
 from .faults import (
     BATCH_ASSEMBLY,
     CRASH,
+    DEATH,
     DELAY,
+    DROP,
     DUPLICATE,
+    JOURNAL_WRITE,
     STORE_DELIVER,
+    TORN,
+    WORKER_DEATH,
+    WORKER_HEARTBEAT,
     WORKER_SOLVE,
     FaultInjector,
     FaultSchedule,
     FaultSpec,
     InjectedFault,
+    WorkerDeath,
 )
 from .fused import FusedBatchRunner, FusedOutcome, FusedState
 from .futures import (
+    CircuitOpenError,
     DeadlineExceededError,
+    MemoryPressureError,
     QuotaExceededError,
     RetryExhaustedError,
+    ServerClosedError,
     SolveError,
     SolveFuture,
 )
+from .journal import JournalCorruptError, RecoveryReport, RequestJournal
 from .megabatch import MegaBatchExecutor, MegaSession, solver_fusion_key
 from .server import Server, default_solver_factory
 from .stats import ServingStats
 from .store import AdmissionController, RequestStore, TenantQuota
+from .supervisor import (
+    BreakerBoard,
+    BreakerPolicy,
+    CircuitBreaker,
+    WorkerSupervisor,
+)
 from .workers import WorkerPool
 
 __all__ = [
@@ -76,19 +101,37 @@ __all__ = [
     "RetryExhaustedError",
     "DeadlineExceededError",
     "QuotaExceededError",
+    "MemoryPressureError",
+    "CircuitOpenError",
+    "ServerClosedError",
     # idempotent store + admission control
     "RequestStore",
     "TenantQuota",
     "AdmissionController",
+    # durability + supervision
+    "RequestJournal",
+    "RecoveryReport",
+    "JournalCorruptError",
+    "WorkerSupervisor",
+    "CircuitBreaker",
+    "BreakerBoard",
+    "BreakerPolicy",
     # fault injection
     "FaultInjector",
     "FaultSchedule",
     "FaultSpec",
     "InjectedFault",
+    "WorkerDeath",
     "WORKER_SOLVE",
     "BATCH_ASSEMBLY",
     "STORE_DELIVER",
+    "WORKER_DEATH",
+    "WORKER_HEARTBEAT",
+    "JOURNAL_WRITE",
     "CRASH",
     "DELAY",
     "DUPLICATE",
+    "DEATH",
+    "DROP",
+    "TORN",
 ]

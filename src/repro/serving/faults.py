@@ -21,12 +21,27 @@ Sites (the module-level constants are the wiring contract):
 * ``STORE_DELIVER`` — fired when the server delivers a solved outcome to the
   :class:`~repro.serving.store.RequestStore`; a ``duplicate`` makes the
   server deliver the same outcome twice, exercising upsert idempotency.
+* ``WORKER_DEATH`` — fired by the server at the start of every batch group
+  and again after each fused solve (mid-batch, results computed but not yet
+  delivered); a ``death`` kind raises :class:`WorkerDeath`, modelling the
+  worker process dying, and exercises the supervisor's requeue path.
+* ``WORKER_HEARTBEAT`` — fired each time a serving worker would emit a
+  supervision heartbeat; a ``drop`` kind suppresses that heartbeat,
+  modelling heartbeat loss between a live worker and its supervisor.
+* ``JOURNAL_WRITE`` — fired by the request journal before each record
+  append; a ``torn`` kind flushes half a frame to disk and then fails the
+  journal permanently, modelling a process crash mid-write (the torn tail
+  the journal must truncate on the next open).
 
-Determinism: each spec names the 0-based call index at which it fires, and
-call counters are kept per ``(site, rank)`` so multi-rank thread
-interleavings cannot reorder which call a fault lands on.  Delays never
-``time.sleep`` by default — the injector's ``sleep`` callable is injectable,
-so tests pass a fake clock's ``advance`` and stay wall-clock free.
+Determinism: each spec names the 0-based call index at which it fires
+(``repeat=True`` makes it fire at every index from there on — sustained
+heartbeat loss), and call counters are kept per ``(site, rank)`` so
+multi-rank thread interleavings cannot reorder which call a fault lands on.
+Delays never ``time.sleep`` by default — the injector's ``sleep`` callable
+is injectable, so tests pass a fake clock's ``advance`` and stay wall-clock
+free.  :meth:`FaultSchedule.seeded` keeps drawing over the original three
+serving sites by default so existing seeds replay identically; pass
+``sites=`` explicitly to draw process-level faults.
 """
 
 from __future__ import annotations
@@ -39,10 +54,17 @@ __all__ = [
     "WORKER_SOLVE",
     "BATCH_ASSEMBLY",
     "STORE_DELIVER",
+    "WORKER_DEATH",
+    "WORKER_HEARTBEAT",
+    "JOURNAL_WRITE",
     "CRASH",
     "DELAY",
     "DUPLICATE",
+    "DEATH",
+    "DROP",
+    "TORN",
     "InjectedFault",
+    "WorkerDeath",
     "FaultSpec",
     "FaultSchedule",
     "FaultInjector",
@@ -52,17 +74,53 @@ __all__ = [
 WORKER_SOLVE = "worker.solve"
 BATCH_ASSEMBLY = "batch.assembly"
 STORE_DELIVER = "store.deliver"
-SITES = (WORKER_SOLVE, BATCH_ASSEMBLY, STORE_DELIVER)
+WORKER_DEATH = "worker.death"
+WORKER_HEARTBEAT = "worker.heartbeat"
+JOURNAL_WRITE = "journal.write"
+SITES = (
+    WORKER_SOLVE,
+    BATCH_ASSEMBLY,
+    STORE_DELIVER,
+    WORKER_DEATH,
+    WORKER_HEARTBEAT,
+    JOURNAL_WRITE,
+)
+#: the sites :meth:`FaultSchedule.seeded` draws from by default — frozen at
+#: the original three so seeds minted before the process-level sites existed
+#: keep replaying the exact same schedules.
+DEFAULT_SEED_SITES = (WORKER_SOLVE, BATCH_ASSEMBLY, STORE_DELIVER)
 
 #: fault kinds
 CRASH = "crash"
 DELAY = "delay"
 DUPLICATE = "duplicate"
-KINDS = (CRASH, DELAY, DUPLICATE)
+DEATH = "death"
+DROP = "drop"
+TORN = "torn"
+KINDS = (CRASH, DELAY, DUPLICATE, DEATH, DROP, TORN)
+
+#: kinds only defined at one site (and the only kinds those sites accept,
+#: besides ``delay`` which is valid anywhere)
+_SITE_BOUND_KINDS = {
+    DUPLICATE: STORE_DELIVER,
+    DEATH: WORKER_DEATH,
+    DROP: WORKER_HEARTBEAT,
+    TORN: JOURNAL_WRITE,
+}
 
 
 class InjectedFault(RuntimeError):
     """Raised by a ``crash`` fault; never raised by production code paths."""
+
+
+class WorkerDeath(BaseException):
+    """Raised by a ``death`` fault: the worker running this batch 'died'.
+
+    Deliberately a :class:`BaseException` so the serving layer's ordinary
+    ``except Exception`` retry/failure handlers cannot mistake a process
+    death for a retryable solver error — only the supervisor-aware handler
+    in ``Server._run_group`` catches it and requeues the in-flight work.
+    """
 
 
 @dataclass(frozen=True)
@@ -71,7 +129,9 @@ class FaultSpec:
 
     Fires on the ``index``-th call (0-based) at ``site``; when ``rank`` is
     set, only calls from that worker rank are counted and matched.
-    ``delay_seconds`` applies to ``delay`` faults.
+    ``delay_seconds`` applies to ``delay`` faults.  ``repeat=True`` makes
+    the spec fire on *every* call from ``index`` on — sustained failure
+    modes like continuous heartbeat loss.
     """
 
     site: str
@@ -79,6 +139,7 @@ class FaultSpec:
     kind: str = CRASH
     rank: int | None = None
     delay_seconds: float = 0.0
+    repeat: bool = False
 
     def __post_init__(self):
         if self.site not in SITES:
@@ -89,8 +150,28 @@ class FaultSpec:
             raise ValueError("index must be non-negative")
         if self.delay_seconds < 0:
             raise ValueError("delay_seconds must be non-negative")
-        if self.kind == DUPLICATE and self.site != STORE_DELIVER:
-            raise ValueError("duplicate faults only apply to the store boundary")
+        bound_site = _SITE_BOUND_KINDS.get(self.kind)
+        if bound_site is not None and self.site != bound_site:
+            friendly = {
+                STORE_DELIVER: "store",
+                WORKER_DEATH: "worker-death",
+                WORKER_HEARTBEAT: "heartbeat",
+                JOURNAL_WRITE: "journal-write",
+            }[bound_site]
+            raise ValueError(
+                f"{self.kind!r} faults only apply to the {friendly} boundary "
+                f"({bound_site!r})"
+            )
+        if self.site in _SITE_BOUND_KINDS.values():
+            allowed = {k for k, s in _SITE_BOUND_KINDS.items() if s == self.site}
+            allowed.add(DELAY)
+            if self.site in (WORKER_SOLVE, BATCH_ASSEMBLY, STORE_DELIVER):
+                allowed.add(CRASH)
+            if self.kind not in allowed:
+                raise ValueError(
+                    f"fault kind {self.kind!r} is not defined at {self.site!r}; "
+                    f"one of {sorted(allowed)}"
+                )
 
 
 class FaultSchedule:
@@ -112,7 +193,9 @@ class FaultSchedule:
         """The spec firing on this call, or ``None``."""
 
         for spec in self._by_site.get(site, ()):
-            if spec.index == index and (spec.rank is None or spec.rank == rank):
+            if spec.rank is not None and spec.rank != rank:
+                continue
+            if spec.index == index or (spec.repeat and index >= spec.index):
                 return spec
         return None
 
@@ -121,7 +204,7 @@ class FaultSchedule:
         cls,
         seed: int,
         num_faults: int = 3,
-        sites: tuple = SITES,
+        sites: tuple = DEFAULT_SEED_SITES,
         kinds: tuple = (CRASH, DELAY),
         max_index: int = 8,
         delay_seconds: float = 0.05,
@@ -130,20 +213,27 @@ class FaultSchedule:
 
         The same seed always yields the same specs (sites, kinds, call
         indices), so a fault scenario found by a randomized run can be
-        replayed exactly by its seed.  ``duplicate`` kinds are remapped onto
-        the store boundary, where they are defined.
+        replayed exactly by its seed.  Kinds that are only defined at one
+        boundary (``duplicate``, ``death``, ``drop``, ``torn``) are remapped
+        onto that boundary's single kind when its site is drawn; ``sites``
+        defaults to the original three serving seams so old seeds replay
+        bit-for-bit — pass e.g. ``sites=(WORKER_DEATH, JOURNAL_WRITE,
+        WORKER_HEARTBEAT)`` for process-level chaos schedules.
         """
 
         from ..utils import seeded_rng
 
+        site_kind = {site: kind for kind, site in _SITE_BOUND_KINDS.items()}
         rng = seeded_rng(seed)
         specs = []
         for _ in range(int(num_faults)):
             site = sites[int(rng.integers(len(sites)))]
-            if site == STORE_DELIVER:
-                kind = DUPLICATE  # the only kind defined at the store boundary
+            if site in site_kind:
+                kind = site_kind[site]  # the only kind defined at that boundary
             else:
-                pool = tuple(k for k in kinds if k != DUPLICATE) or (CRASH,)
+                pool = tuple(
+                    k for k in kinds if k not in _SITE_BOUND_KINDS
+                ) or (CRASH,)
                 kind = pool[int(rng.integers(len(pool)))]
             specs.append(
                 FaultSpec(
@@ -205,8 +295,9 @@ class FaultInjector:
         """Count one call at ``site`` and inject any scheduled fault.
 
         Returns the injected spec (``delay`` specs after sleeping,
-        ``duplicate`` specs for the caller to act on) or ``None``; raises
-        :class:`InjectedFault` for ``crash`` specs.
+        ``duplicate``/``drop``/``torn`` specs for the caller to act on) or
+        ``None``; raises :class:`InjectedFault` for ``crash`` specs and
+        :class:`WorkerDeath` for ``death`` specs.
         """
 
         if not self.enabled:
@@ -225,6 +316,8 @@ class FaultInjector:
                 f"injected crash at {site} call #{index}"
                 + (f" (rank {rank})" if rank is not None else "")
             )
+        if spec.kind == DEATH:
+            raise WorkerDeath(f"injected worker death at {site} call #{index}")
         if spec.kind == DELAY and spec.delay_seconds:
             self.sleep(spec.delay_seconds)
         return spec

@@ -21,6 +21,16 @@ Error taxonomy (all subclasses of :class:`SolveError`):
   (failed fast, no solve issued) or its solve completed past the deadline.
 * :class:`QuotaExceededError` — per-tenant admission control rejected the
   request at submit time instead of queueing it unboundedly.
+* :class:`MemoryPressureError` — admission control shed the request because
+  the process's live bytes are over the tenant's priority-scaled share of
+  the memory budget (a :class:`QuotaExceededError` subclass, so existing
+  quota handling sees it).
+* :class:`CircuitOpenError` — this request's solver backend (its
+  ``solver_fusion_key``) has its circuit breaker open after consecutive
+  failures; the request is rejected fast instead of joining a retry storm.
+* :class:`ServerClosedError` — the server is draining
+  (:meth:`~repro.serving.server.Server.drain_and_close`) or closed and no
+  longer accepts submissions.
 """
 
 from __future__ import annotations
@@ -32,6 +42,9 @@ __all__ = [
     "RetryExhaustedError",
     "DeadlineExceededError",
     "QuotaExceededError",
+    "MemoryPressureError",
+    "CircuitOpenError",
+    "ServerClosedError",
     "SolveFuture",
 ]
 
@@ -67,6 +80,18 @@ class DeadlineExceededError(SolveError):
 
 class QuotaExceededError(SolveError):
     """Admission control rejected the request under its tenant's quota."""
+
+
+class MemoryPressureError(QuotaExceededError):
+    """Admission shed the request: live bytes are over the tenant's threshold."""
+
+
+class CircuitOpenError(SolveError):
+    """The request's solver backend is circuit-broken after repeated failures."""
+
+
+class ServerClosedError(SolveError):
+    """The server is draining or closed and no longer accepts submissions."""
 
 
 class SolveFuture:

@@ -26,7 +26,19 @@ rebuild it is a request *pipeline*:
   unboundedly;
 * every robustness path is deterministically testable through the
   flag-guarded :class:`~repro.serving.faults.FaultInjector` hooks at the
-  worker-call, batch-assembly and store boundaries.
+  worker-call, batch-assembly and store boundaries — plus the process-level
+  sites (worker death, heartbeat loss, torn journal write);
+* with a ``journal`` the request store is **durable** (write-ahead
+  claim/complete/fail records; a restarted server replays completed keys
+  bitwise-identically and re-runs interrupted claims exactly once), with a
+  ``supervisor`` crashed/hung workers are detected and their in-flight
+  requests requeued exactly-once, and per-backend **circuit breakers**
+  convert repeated solver failures into fast
+  :class:`~repro.serving.futures.CircuitOpenError` rejections;
+* under memory pressure (a budgeted :mod:`repro.obs.memory` accountant)
+  admission sheds lowest-priority tenants first, and
+  :meth:`~Server.drain_and_close` shuts down gracefully: refuse intake,
+  finish in-flight work, compact the journal.
 
 The synchronous API is a thin wrapper over the same pipeline: without a
 dispatcher, :meth:`~Server.submit` is ``submit_async`` plus an inline
@@ -59,21 +71,30 @@ from .cache import CachedSolution, SolutionCache
 from .estimator import ServingEstimator
 from .faults import (
     BATCH_ASSEMBLY,
+    DROP,
     DUPLICATE,
     STORE_DELIVER,
+    WORKER_DEATH,
+    WORKER_HEARTBEAT,
     WORKER_SOLVE,
     FaultInjector,
+    WorkerDeath,
 )
 from .fused import FusedBatchRunner
 from .futures import (
+    CircuitOpenError,
     DeadlineExceededError,
+    MemoryPressureError,
     QuotaExceededError,
     RetryExhaustedError,
+    ServerClosedError,
     SolveFuture,
 )
+from .journal import RequestJournal
 from .megabatch import MegaBatchExecutor, MegaSession, solver_fusion_key
 from .stats import ServingStats
 from .store import AdmissionController, RequestStore, TenantQuota, Waiter
+from .supervisor import BreakerBoard, WorkerSupervisor
 from .workers import WorkerPool
 
 __all__ = ["Server", "default_solver_factory"]
@@ -165,8 +186,10 @@ class Server:
         Capped exponential backoff between retries:
         ``min(retry_backoff_seconds * 2**(attempt-1), retry_backoff_cap)``.
     sleep:
-        How backoff passes time (injectable; tests pass a fake clock's
-        ``advance`` so retry scenarios run without real sleeping).
+        How backoff passes time.  The default (``None``) waits on the
+        server's closing event, so :meth:`close` interrupts an in-progress
+        retry backoff instead of sleeping it out.  Tests pass a fake
+        clock's ``advance`` so retry scenarios run without real sleeping.
     async_workers:
         Size of the solve-worker thread pool.  ``0`` (default) keeps the
         server fully synchronous — batches run inline on the submitting /
@@ -203,6 +226,39 @@ class Server:
         completion/failure and surfaced by :meth:`health`.  A default
         tracker (availability + 1s-latency objectives, 1m/10m/1h burn-rate
         windows) on this server's clock is created when omitted.
+    journal:
+        Durability: a journal path (``str``/``Path``) or a ready
+        :class:`~repro.serving.journal.RequestJournal`.  The store recovers
+        from it at construction (``self.recovery`` holds the
+        :class:`~repro.serving.journal.RecoveryReport`) and write-ahead
+        journals every claim/complete/fail from then on, so a restarted
+        server replays completed keys bitwise-identically and re-runs
+        interrupted claims exactly once.  ``None`` (default) keeps the
+        store in-memory only.
+    supervisor:
+        Worker supervision: ``True`` for a default
+        :class:`~repro.serving.supervisor.WorkerSupervisor` on this
+        server's clock, or a configured instance.  Supervised solve workers
+        register flights and heartbeat at solve attempts;
+        :meth:`check_workers` requeues the in-flight requests of hung
+        workers (no heartbeat within the timeout), worker deaths
+        (:class:`~repro.serving.faults.WorkerDeath` escaping a batch)
+        requeue immediately, and both schedule capped-exponential-backoff
+        restarts until the budget is spent — after which work fails instead
+        of looping.  The restart gate is the *modeled* worker-process
+        restart delay: it is surfaced in :meth:`health` and the supervisor
+        snapshot, not used to block this process's (simulated-worker)
+        dispatch.  ``None`` (default) disables supervision; requeue-on-death
+        still works.
+    breakers:
+        Per-backend circuit breakers (default on): ``True`` for a default
+        :class:`~repro.serving.supervisor.BreakerBoard`, an instance for
+        custom policy, ``False``/``None`` to disable.  Breakers are keyed
+        by the request group's mega-fusion compatibility key (its
+        ``solver_fusion_key``; the geometry group key for never-fusing
+        groups): consecutive solve failures trip that backend open and
+        further submissions fail fast with :class:`CircuitOpenError` until
+        a half-open probe succeeds.
 
     Observability
     -------------
@@ -237,13 +293,16 @@ class Server:
         max_retries: int = 2,
         retry_backoff_seconds: float = 0.001,
         retry_backoff_cap: float = 0.1,
-        sleep=time.sleep,
+        sleep=None,
         async_workers: int = 0,
         poll_interval_seconds: float = 0.01,
         mega_batch: bool = True,
         engine_parallel: bool = False,
         flight: FlightRecorder | None = None,
         slo: SLOTracker | None = None,
+        journal=None,
+        supervisor: WorkerSupervisor | bool | None = None,
+        breakers: BreakerBoard | bool | None = True,
     ):
         self.solver_factory = solver_factory
         self.policy = policy or BatchPolicy()
@@ -271,12 +330,27 @@ class Server:
         )
         self.store = store if store is not None else RequestStore()
         self.faults = faults
+        #: recovery report when a journal was replayed at construction
+        self.recovery = None
+        if journal is not None:
+            if not isinstance(journal, RequestJournal):
+                journal = RequestJournal(journal, faults=faults)
+            self.recovery = self.store.recover(journal)
+        # Admission always runs (memory-pressure shedding applies with or
+        # without quotas); tenants without a quota admit at priority 0.
         if quotas is None:
-            self.admission = None
+            self.admission = AdmissionController(estimator=estimator)
         elif isinstance(quotas, TenantQuota):
             self.admission = AdmissionController(default=quotas, estimator=estimator)
         else:
             self.admission = AdmissionController(quotas=quotas, estimator=estimator)
+        if supervisor is True:
+            supervisor = WorkerSupervisor(clock=clock)
+        # `is False` (not truthiness): an idle BreakerBoard is len() == 0.
+        self.supervisor = None if supervisor is False else supervisor
+        if breakers is True:
+            breakers = BreakerBoard(clock=clock)
+        self.breakers = None if breakers is False else breakers
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
         self.max_retries = int(max_retries)
@@ -311,6 +385,11 @@ class Server:
         self._wake = threading.Event()
         self._dispatch_thread: threading.Thread | None = None
         self._executor: ThreadPoolExecutor | None = None
+        # Persistent (never recreated) so an in-progress retry backoff can
+        # observe close() no matter when start()/close() cycles happen.
+        self._closing = threading.Event()
+        self._draining = False
+        self._requeued_ids: set[str] = set()
 
     # -- async lifecycle -----------------------------------------------------------
 
@@ -332,6 +411,8 @@ class Server:
                 )
             self._stop_event = threading.Event()
             self._wake = threading.Event()
+            self._closing.clear()
+            self._draining = False
             self._executor = ThreadPoolExecutor(
                 max_workers=self.async_workers, thread_name_prefix="serving-solve"
             )
@@ -343,8 +424,13 @@ class Server:
         return self
 
     def close(self) -> None:
-        """Stop the dispatcher and worker pool after finishing in-flight work."""
+        """Stop the dispatcher and worker pool after finishing in-flight work.
 
+        Sets the closing event first, so a solve worker mid-way through a
+        retry backoff wakes immediately instead of sleeping the backoff out.
+        """
+
+        self._closing.set()
         with self._lock:
             if not self._started:
                 return
@@ -357,6 +443,26 @@ class Server:
             self._started = False
             self._dispatch_thread = None
             self._executor = None
+
+    def drain_and_close(self) -> dict[str, SolveResult]:
+        """Graceful shutdown: stop intake, finish in-flight, checkpoint.
+
+        New submissions raise :class:`ServerClosedError` from the moment
+        this is called; queued and in-flight requests are drained to
+        completion; the dispatcher/worker pool is stopped; and, when the
+        store carries a journal, it is compacted to a claim-free snapshot of
+        the settled results (so the next process recovers without orphans).
+        Returns what :meth:`drain` collected.
+        """
+
+        self._draining = True
+        try:
+            results = self.drain()
+        finally:
+            if self.running:
+                self.close()
+            self.store.checkpoint_journal()
+        return results
 
     def __enter__(self) -> "Server":
         if self.async_workers >= 1:
@@ -386,6 +492,10 @@ class Server:
 
         if not isinstance(request, SolveRequest):
             raise TypeError("submit() takes a SolveRequest; build one with SolveRequest.create")
+        if self._draining:
+            raise ServerClosedError(
+                f"server is draining; request {request.request_id!r} refused"
+            )
         with self._lock:
             if request.request_id in self._inflight_ids or request.request_id in self._completed:
                 raise ValueError(f"duplicate request id {request.request_id!r}")
@@ -395,15 +505,39 @@ class Server:
             self.stats.record_submit()
             waiter = Waiter(request=request, future=future, submitted_at=now)
 
-            if self.admission is not None and not self.admission.admit(request):
-                self.stats.record_rejection()
+            # Breaker gate before admission: a rejection here has not taken
+            # an admission slot, so there is nothing to release.
+            breaker = self._breaker_for(request.group_key)
+            if breaker is not None and not breaker.allow():
+                self.stats.record_breaker_rejection()
                 self.slo.record(False)
                 future._set_exception(
-                    QuotaExceededError(
+                    CircuitOpenError(
+                        f"circuit breaker for this request's solver backend is "
+                        f"{breaker.state}; request {request.request_id!r} "
+                        f"rejected fast"
+                    )
+                )
+                return future
+
+            shed = self.admission.decide(request)
+            if shed is not None:
+                self.slo.record(False)
+                if shed == "memory":
+                    self.stats.record_memory_shed()
+                    error = MemoryPressureError(
+                        f"live bytes are over tenant {request.tenant!r}'s "
+                        f"priority-{self.admission.priority_for(request.tenant)} "
+                        f"share of the memory budget; request "
+                        f"{request.request_id!r} was shed"
+                    )
+                else:
+                    self.stats.record_rejection()
+                    error = QuotaExceededError(
                         f"tenant {request.tenant!r} is over its admission quota; "
                         f"request {request.request_id!r} was shed"
                     )
-                )
+                future._set_exception(error)
                 return future
 
             with self._lock:
@@ -463,7 +597,8 @@ class Server:
         inline, exactly like the pre-async server; with one, execution
         happens on the worker pool and :meth:`drain` (or the future from
         :meth:`future`) collects the outcome.  A quota rejection raises
-        :class:`QuotaExceededError` here, since there is no future to
+        :class:`QuotaExceededError` (a breaker rejection
+        :class:`CircuitOpenError`) here, since there is no future to
         carry it.
         """
 
@@ -472,7 +607,7 @@ class Server:
             self.pump()
         if fut.done():
             error = fut.exception()
-            if isinstance(error, QuotaExceededError):
+            if isinstance(error, (QuotaExceededError, CircuitOpenError)):
                 raise error
         return request.request_id
 
@@ -567,6 +702,7 @@ class Server:
         for request_id in list(self._futures):
             if request_id not in self._inflight_ids:
                 del self._futures[request_id]
+        self._requeued_ids.intersection_update(self._inflight_ids)
         return completed
 
     def _take_ready(self) -> list[Batch]:
@@ -647,6 +783,7 @@ class Server:
 
     def _dispatch_loop(self) -> None:
         while not self._stop_event.is_set():
+            self.check_workers()
             with self._lock:
                 groups = self._mega_groups(self._take_ready())
             if groups:
@@ -670,12 +807,19 @@ class Server:
             self._executor.submit(self._run_group, batches, compat_key)
 
     def _run_group(self, batches: list[Batch], compat_key: tuple | None) -> None:
+        worker = self._supervise_begin(batches)
         try:
+            if self.faults is not None:
+                # Worker-death site, entry edge: the worker picked the group
+                # up and dies before any solve ran.
+                self.faults.fire(WORKER_DEATH)
             if compat_key is None or len(batches) == 1:
                 for batch in batches:
                     self._execute(batch)
             else:
                 self._execute_mega(batches, compat_key)
+        except WorkerDeath as death:
+            self._handle_worker_death(worker, batches, death)
         except Exception as exc:
             # _execute* handle solver failures themselves; anything escaping
             # here (assembly faults, bugs) must still resolve the waiters.
@@ -685,9 +829,111 @@ class Server:
             for batch in batches:
                 self._fail_requests(batch.requests, error)
         finally:
+            self._supervise_end(worker)
             with self._lock:
                 self._inflight_requests -= sum(len(batch) for batch in batches)
                 self._work_done.notify_all()
+
+    # -- supervision ---------------------------------------------------------------
+
+    def _supervise_begin(self, batches: list[Batch]) -> str:
+        worker = threading.current_thread().name
+        if self.supervisor is not None:
+            requests = [r for batch in batches for r in batch.requests]
+            self.supervisor.begin(worker, requests, self.clock())
+        return worker
+
+    def _supervise_end(self, worker: str) -> None:
+        if self.supervisor is not None:
+            self.supervisor.end(worker)
+
+    def _heartbeat(self) -> None:
+        """One supervision heartbeat from the current solve worker.
+
+        Fired at the start of every fused-solve attempt.  The
+        ``WORKER_HEARTBEAT`` fault site sits between the worker and the
+        supervisor: a ``drop`` fault suppresses delivery, so a perfectly
+        live worker looks hung — exactly the partition the supervisor's
+        timeout must tolerate (requeue + idempotent store, never a double
+        resolution).
+        """
+
+        if self.supervisor is None:
+            return
+        if self.faults is not None:
+            spec = self.faults.fire(WORKER_HEARTBEAT)
+            if spec is not None and spec.kind == DROP:
+                return
+        self.supervisor.heartbeat(threading.current_thread().name, self.clock())
+
+    def check_workers(self) -> int:
+        """Requeue the in-flight requests of every hung worker; returns count.
+
+        Called by the dispatcher every loop; deterministic tests call it
+        directly after advancing their fake clock.  A flight with no
+        heartbeat inside the supervisor's timeout is popped and its requests
+        requeued (or failed once the restart budget is exhausted).  If the
+        "hung" worker was merely partitioned and later completes, the
+        store's idempotent upsert absorbs the extra delivery.
+        """
+
+        if self.supervisor is None:
+            return 0
+        stale = self.supervisor.check(self.clock())
+        for flight in stale:
+            if self.supervisor.exhausted:
+                error = RetryExhaustedError(
+                    f"worker {flight.worker!r} sent no heartbeat for "
+                    f"{self.supervisor.heartbeat_timeout_seconds}s and the "
+                    f"supervisor's restart budget is spent",
+                    attempts=1,
+                )
+                self.stats.record_failure()
+                self._fail_requests(flight.requests, error)
+            else:
+                self._requeue(flight.requests)
+        return len(stale)
+
+    def _handle_worker_death(self, worker, batches, death: WorkerDeath) -> None:
+        requests = [r for batch in batches for r in batch.requests]
+        if self.supervisor is not None:
+            self.supervisor.record_death(worker, self.clock())
+            if self.supervisor.exhausted:
+                error = RetryExhaustedError(
+                    f"worker died and the supervisor's restart budget is "
+                    f"spent: {death!r}",
+                    attempts=1,
+                )
+                error.__cause__ = death
+                self.stats.record_failure()
+                self._fail_requests(requests, error)
+                return
+        self._requeue(requests)
+
+    def _requeue(self, requests: list) -> None:
+        """Exactly-once requeue of a dead/hung worker's in-flight requests.
+
+        Only requests whose waiters are still unresolved go back through the
+        batchers (a death after postprocess has nothing left to requeue);
+        their batchers are flushed immediately so requeued work re-dispatches
+        without waiting out a fresh batching deadline.
+        """
+
+        with self._lock:
+            live = [r for r in requests if r.request_id in self._inflight_ids]
+            if not live:
+                return
+            self.stats.record_requeue(len(live))
+            touched = set()
+            for request in live:
+                self._requeued_ids.add(request.request_id)
+                batcher = self._batcher_for(request)
+                self._ready.extend(batcher.enqueue(request))
+                touched.add(request.group_key)
+            for key in touched:
+                self._ready.extend(self._batchers[key].take_all())
+            if self._started:
+                self._wake.set()
 
     def _wait_idle(self, timeout: float | None = None) -> bool:
         def idle() -> bool:
@@ -792,6 +1038,11 @@ class Server:
             outcomes = self._solve_with_retries(pool, prepared, batch_span)
             if outcomes is None:
                 return  # waiters already resolved (failed or expired)
+            if self.faults is not None:
+                # Worker-death site, mid-batch edge: results computed but not
+                # yet delivered — the requeued re-solve must land bitwise on
+                # the same outcome and deliver exactly once.
+                self.faults.fire(WORKER_DEATH)
             self.stats.record_fused_run(len(prepared.solve_requests))
             batch_span.set_attr("unique", len(prepared.solve_requests))
             with span("serving.postprocess"):
@@ -915,16 +1166,25 @@ class Server:
         sleep, so an attempt never solves for already-expired requests.
         """
 
+        breaker = self._breaker_for(prepared.batch.group_key)
         attempts = 0
         while True:
+            self._heartbeat()
             try:
                 with span(
                     "serving.fused_solve",
                     unique=len(prepared.solve_requests),
                     attempt=attempts,
                 ):
-                    return pool.solve(prepared.loops, prepared.tols, prepared.budgets)
+                    outcomes = pool.solve(
+                        prepared.loops, prepared.tols, prepared.budgets
+                    )
+                if breaker is not None:
+                    breaker.record_success()
+                return outcomes
             except Exception as exc:
+                if breaker is not None:
+                    breaker.record_failure()
                 attempts += 1
                 for request in prepared.live:
                     self.store.record_attempt(request)
@@ -950,8 +1210,7 @@ class Server:
                     backoff_seconds=backoff,
                     error=type(exc).__name__,
                 ):
-                    if backoff > 0:
-                        self._sleep(backoff)
+                    self._backoff_wait(backoff)
                 if not self._refresh_expired(prepared):
                     batch_span.set_attr("expired_in_backoff", True)
                     return None
@@ -1019,6 +1278,10 @@ class Server:
             results = self._solve_mega_with_retries(compat_key, prepared, mega_span)
             if results is None:
                 return  # waiters already resolved (failed or expired)
+            if self.faults is not None:
+                # Worker-death site, mid-batch edge (mega): all sessions
+                # solved, nothing delivered yet.
+                self.faults.fire(WORKER_DEATH)
             prepared, outcomes = results
             for p, outs in zip(prepared, outcomes):
                 p.occupancy = len(prepared)
@@ -1040,8 +1303,10 @@ class Server:
         """
 
         solver = self._mega_solvers[compat_key]
+        breaker = self.breakers.get(compat_key) if self.breakers is not None else None
         attempts = 0
         while True:
+            self._heartbeat()
             live = [request for p in prepared for request in p.live]
             try:
                 with span(
@@ -1074,8 +1339,12 @@ class Server:
                     outcomes = executor.run(sessions)
                     mega_span.set_attr("solver_calls", executor.calls)
                     mega_span.set_attr("solver_rows", executor.rows)
-                    return prepared, outcomes
+                if breaker is not None:
+                    breaker.record_success()
+                return prepared, outcomes
             except Exception as exc:
+                if breaker is not None:
+                    breaker.record_failure()
                 attempts += 1
                 for request in live:
                     self.store.record_attempt(request)
@@ -1101,8 +1370,7 @@ class Server:
                     backoff_seconds=backoff,
                     error=type(exc).__name__,
                 ):
-                    if backoff > 0:
-                        self._sleep(backoff)
+                    self._backoff_wait(backoff)
                 prepared = [p for p in prepared if self._refresh_expired(p)]
                 if not prepared:
                     mega_span.set_attr("expired_in_backoff", True)
@@ -1123,6 +1391,36 @@ class Server:
             )
 
         return max_rows_for
+
+    def _breaker_for(self, group_key: tuple):
+        """The circuit breaker guarding this group's solver backend, or ``None``.
+
+        Keyed by the group's mega-fusion compatibility key so every group
+        sharing one solver configuration shares one breaker; a group that
+        never fuses gets its own breaker under its geometry group key.
+        """
+
+        if self.breakers is None:
+            return None
+        with self._lock:
+            key = self._compat_key(group_key)
+        return self.breakers.get(key if key is not None else group_key)
+
+    def _backoff_wait(self, seconds: float) -> None:
+        """Pass retry-backoff time, interruptibly.
+
+        With no injected ``sleep`` this waits on the closing event, so
+        :meth:`close` wakes a worker mid-backoff instead of letting it sleep
+        the full backoff out; an already-closing server skips the wait
+        entirely.
+        """
+
+        if seconds <= 0 or self._closing.is_set():
+            return
+        if self._sleep is not None:
+            self._sleep(seconds)
+        else:
+            self._closing.wait(seconds)
 
     def _fail_requests(self, requests, error: BaseException) -> None:
         for request in requests:
@@ -1181,8 +1479,13 @@ class Server:
             # from *previous* samples only, so the retained set is a pure
             # function of the request stream (deterministic under replay).
             reason = None
+            with self._lock:
+                requeued = waiter.request.request_id in self._requeued_ids
+                self._requeued_ids.discard(waiter.request.request_id)
             if self.store.attempts(waiter.request) > 0:
                 reason = "retried"
+            elif requeued:
+                reason = "requeued"
             elif self.flight.is_slow(latency):
                 reason = "slow"
             if reason is not None:
@@ -1276,35 +1579,70 @@ class Server:
     def health(self) -> dict:
         """One-call health snapshot: SLO burn rates, memory, flight summary.
 
-        Returns ``{"status", "alerts", "slo", "pending", "store"}`` plus,
-        when memory accounting is enabled, ``"memory"`` (per-owner
-        live/peak byte gauges) and ``"bytes_per_request"``, and, with a
-        flight recorder attached, ``"flight"`` (retention counts and the
-        current tail-latency threshold).  ``status`` is ``"burning"`` when
-        any objective's burn rate exceeds its threshold over *every*
-        window, else ``"ok"``.  The SLO and memory gauges are also
+        Returns ``{"status", "alerts", "slo", "pending", "store", "ready",
+        "live"}`` plus, when memory accounting is enabled, ``"memory"``
+        (per-owner live/peak byte gauges, and budget/headroom/pressure when
+        a budget is set) and ``"bytes_per_request"``; with a flight recorder
+        attached, ``"flight"`` (retention counts and the current
+        tail-latency threshold); with circuit breakers, ``"breakers"``
+        (per-backend states); with a supervisor, ``"supervisor"`` (flights,
+        deaths, hangs, restart budget); with a journal, ``"journal"``
+        (append counts and fsync lag).
+
+        ``status`` is ``"draining"`` during :meth:`drain_and_close`, else
+        ``"burning"`` when any objective's burn rate exceeds its threshold
+        over *every* window, else ``"ok"``.  ``live`` is the liveness probe
+        (dispatcher thread healthy and the supervisor's restart budget not
+        exhausted); ``ready`` is the readiness probe (live, not draining,
+        and memory pressure under 1.0).  The SLO and memory gauges are also
         published into ``stats.registry`` so the Prometheus/JSON exporters
         carry them.
         """
 
         alerts = self.slo.alerts()
+        if self._draining:
+            status = "draining"
+        elif alerts:
+            status = "burning"
+        else:
+            status = "ok"
+        with self._lock:
+            started, thread = self._started, self._dispatch_thread
+        dispatcher_ok = (not started) or (
+            thread is not None and thread.is_alive()
+        )
+        live = dispatcher_ok and not (
+            self.supervisor is not None and self.supervisor.exhausted
+        )
         snapshot = {
-            "status": "burning" if alerts else "ok",
+            "status": status,
             "alerts": alerts,
             "slo": self.slo.snapshot(),
             "pending": self.pending,
             "store": self.store.stats(),
+            "live": live,
         }
         self.slo.publish(self.stats.registry)
+        pressure = None
         accountant = obs_memory.get_accountant()
         if accountant is not None:
             snapshot["memory"] = accountant.snapshot()
+            pressure = accountant.pressure()
             per_request = accountant.bytes_per_request(
                 self.stats.completed_requests
             )
             snapshot["bytes_per_request"] = per_request
             accountant.publish(self.stats.registry)
             self.stats.registry.gauge("serving.bytes_per_request").set(per_request)
+        snapshot["ready"] = (
+            live and not self._draining and (pressure is None or pressure < 1.0)
+        )
         if self.flight is not None:
             snapshot["flight"] = self.flight.summary()
+        if self.breakers is not None:
+            snapshot["breakers"] = self.breakers.snapshot()
+        if self.supervisor is not None:
+            snapshot["supervisor"] = self.supervisor.snapshot()
+        if self.store.journal is not None:
+            snapshot["journal"] = self.store.journal.stats()
         return snapshot

@@ -85,6 +85,11 @@ class ServingStats:
         self._timeouts = self.registry.counter("serving.timeouts")
         self._failures = self.registry.counter("serving.failures")
         self._store_hits = self.registry.counter("serving.store_hits")
+        self._breaker_rejections = self.registry.counter(
+            "serving.breaker_rejections"
+        )
+        self._memory_sheds = self.registry.counter("serving.memory_sheds")
+        self._requeues = self.registry.counter("serving.requeues")
         #: zero-argument callable returning the engine's counter dict
         #: (traces, plan builds, plan bytes, plan evictions), or ``None``
         self.engine_stats_provider = engine_stats_provider
@@ -144,6 +149,23 @@ class ServingStats:
     def record_failure(self) -> None:
         self._failures.inc()
 
+    def record_breaker_rejection(self) -> None:
+        """One submission rejected fast by an open circuit breaker."""
+
+        self._breaker_rejections.inc()
+        self._rejections.inc()
+
+    def record_memory_shed(self) -> None:
+        """One submission shed by memory-pressure admission control."""
+
+        self._memory_sheds.inc()
+        self._rejections.inc()
+
+    def record_requeue(self, num_requests: int = 1) -> None:
+        """Requests requeued after their worker died or hung."""
+
+        self._requeues.inc(num_requests)
+
     def record_flight(self, reason: str) -> None:
         """One tail-sampled flight record retained for ``reason``."""
 
@@ -198,6 +220,18 @@ class ServingStats:
     @property
     def store_hits(self) -> int:
         return self._store_hits.value
+
+    @property
+    def breaker_rejections(self) -> int:
+        return self._breaker_rejections.value
+
+    @property
+    def memory_sheds(self) -> int:
+        return self._memory_sheds.value
+
+    @property
+    def requeues(self) -> int:
+        return self._requeues.value
 
     @property
     def mega_runs(self) -> int:
@@ -280,6 +314,9 @@ class ServingStats:
             "timeouts": self.timeouts,
             "failures": self.failures,
             "store_hits": self.store_hits,
+            "breaker_rejections": self.breaker_rejections,
+            "memory_sheds": self.memory_sheds,
+            "requeues": self.requeues,
             "mega_runs": self.mega_runs,
             "mega_calls": self.mega_calls,
             "mean_mega_occupancy": self.mean_mega_occupancy,
@@ -314,6 +351,9 @@ class ServingStats:
             f"{d['mean_mega_rows']:.0f} rows/call)",
             f"retries/timeouts  : {d['retries']} / {d['timeouts']} "
             f"({d['failures']} failed, {d['rejections']} shed)",
+            f"robustness        : {d['requeues']} requeued, "
+            f"{d['breaker_rejections']} breaker-rejected, "
+            f"{d['memory_sheds']} memory-shed",
             f"latency mean/p50/p99 : "
             f"{d['latency_mean']*1e3:.2f} / {d['latency_p50']*1e3:.2f} / "
             f"{d['latency_p99']*1e3:.2f} ms",

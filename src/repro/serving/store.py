@@ -28,6 +28,14 @@ The store never resolves futures itself — :meth:`RequestStore.fulfill`,
 detached waiters so the server can apply per-waiter policy (request
 deadlines) while the store stays a pure state machine.  All methods are
 thread-safe under one internal lock.
+
+With a :class:`~repro.serving.journal.RequestJournal` attached the store is
+also **durable**: every transition is journaled *before* the in-memory
+mutation (write-ahead), and :meth:`RequestStore.recover` rebuilds a fresh
+store from a journal after a process restart — completed keys replay
+bitwise-identically, keys that were in flight at the crash are reported
+orphaned and simply reclaimable, so the restarted server re-runs each of
+them exactly once.
 """
 
 from __future__ import annotations
@@ -42,6 +50,7 @@ from ..obs import memory as obs_memory
 from .api import SolveRequest
 from .cache import CachedSolution
 from .futures import SolveFuture
+from .journal import RecoveryReport, RequestJournal
 
 __all__ = [
     "PENDING",
@@ -120,15 +129,22 @@ class RequestStore:
         Optional boundary-loop quantization of the canonical key (like
         :class:`~repro.serving.cache.SolutionCache`).  ``None`` keys on the
         exact float64 bytes — duplicates must be bitwise resubmissions.
+    journal:
+        Optional :class:`~repro.serving.journal.RequestJournal` making the
+        store durable: claim/complete/fail transitions are appended (write-
+        ahead) before the in-memory mutation.  Use :meth:`recover` on a
+        fresh store to rebuild state from a journal after a restart.
     """
 
-    def __init__(self, capacity: int = 2048, decimals: int | None = None):
+    def __init__(self, capacity: int = 2048, decimals: int | None = None,
+                 journal: RequestJournal | None = None):
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
         if decimals is not None and decimals < 0:
             raise ValueError("decimals must be non-negative (or None for exact keys)")
         self.capacity = int(capacity)
         self.decimals = decimals
+        self.journal = journal
         self._lock = threading.Lock()
         self._inflight: dict[tuple, StoreEntry] = {}
         self._settled: OrderedDict[tuple, StoreEntry] = OrderedDict()
@@ -139,6 +155,7 @@ class RequestStore:
         self.duplicate_deliveries = 0  #: completions redelivered for an already-DONE key
         self.failures = 0            #: keys settled FAILED
         self.evictions = 0           #: settled entries dropped by the LRU bound
+        self.recovered = 0           #: DONE entries rebuilt from a journal
 
     def __len__(self) -> int:
         with self._lock:
@@ -184,7 +201,10 @@ class RequestStore:
                 self._settled.move_to_end(key)
                 self.replays += 1
                 return Claim(owner=False, replay=True, entry=settled)
-            # Unknown key, or a FAILED one: (re)claim it.
+            # Unknown key, or a FAILED one: (re)claim it.  The journal is
+            # written first (WAL: a torn write raises before any mutation).
+            if self.journal is not None:
+                self.journal.append_claim(key)
             entry = StoreEntry(key=key, state=IN_FLIGHT, waiters=[waiter])
             if settled is not None:
                 entry.attempts = settled.attempts
@@ -206,7 +226,7 @@ class RequestStore:
 
         key = self.key_for(request)
         with self._lock:
-            entry = self._inflight.pop(key, None)
+            entry = self._inflight.get(key)
             if entry is None:
                 settled = self._settled.get(key)
                 if settled is not None and settled.state == DONE:
@@ -215,6 +235,12 @@ class RequestStore:
                 # Completion for a key the store never saw (store bypassed or
                 # entry evicted mid-flight): upsert it fresh.
                 entry = StoreEntry(key=key)
+            # WAL ordering: journal the completion before mutating.  A torn
+            # write raises here with the entry still in flight, so its
+            # waiters remain reachable for the server's failure handling.
+            if self.journal is not None:
+                self.journal.append_complete(key, result)
+            self._inflight.pop(key, None)
             entry.state = DONE
             entry.result = result
             entry.error = None
@@ -227,9 +253,12 @@ class RequestStore:
 
         key = self.key_for(request)
         with self._lock:
-            entry = self._inflight.pop(key, None)
+            entry = self._inflight.get(key)
             if entry is None:
                 return []
+            if self.journal is not None:
+                self.journal.append_fail(key, repr(error))
+            self._inflight.pop(key, None)
             entry.state = FAILED
             entry.error = error
             waiters, entry.waiters = entry.waiters, []
@@ -255,6 +284,8 @@ class RequestStore:
             deadlines = [w.deadline_at for w in entry.waiters]
             if any(d is None or d > now for d in deadlines):
                 return None
+            if self.journal is not None:
+                self.journal.append_fail(key, "expired before dispatch")
             del self._inflight[key]
             entry.state = FAILED
             waiters, entry.waiters = entry.waiters, []
@@ -280,6 +311,84 @@ class RequestStore:
         with self._lock:
             entry = self._inflight.get(key) or self._settled.get(key)
             return entry.attempts if entry is not None else 0
+
+    def peek(self, key: tuple) -> CachedSolution | None:
+        """The settled DONE result of a canonical key, without claiming it.
+
+        Recovery tooling and tests use this to compare replayed results
+        bitwise; it does not bump the LRU or any counter.
+        """
+
+        with self._lock:
+            entry = self._settled.get(key)
+            if entry is not None and entry.state == DONE:
+                return entry.result
+            return None
+
+    # -- durability ---------------------------------------------------------------
+
+    def recover(self, journal: RequestJournal) -> RecoveryReport:
+        """Rebuild store state from a journal and attach it for appending.
+
+        Replays every valid record in order and installs the *final* state
+        of each key: keys whose last transition was a completion become
+        settled DONE entries carrying the exact pre-crash result bytes
+        (LRU-bounded by ``capacity``, memory-accounted like any settle);
+        keys that last failed stay absent (reclaimable, as a live FAILED
+        settle would be); keys whose last record is a bare claim are
+        returned as ``orphaned`` — the crash interrupted their solve, and
+        the next submission re-claims each exactly once.
+        """
+
+        records = journal.replay()
+        final: dict[tuple, tuple[str, object]] = {}
+        for kind, key, data in records:
+            if kind == RequestJournal.CLAIM:
+                final[key] = (IN_FLIGHT, None)
+            elif kind == RequestJournal.COMPLETE:
+                final[key] = (DONE, data)
+            elif kind == RequestJournal.FAIL:
+                final[key] = (FAILED, data)
+        completed = failed = 0
+        orphaned: list[tuple] = []
+        with self._lock:
+            for key, (state, data) in final.items():
+                if state == DONE:
+                    self._settle(key, StoreEntry(key=key, state=DONE, result=data))
+                    completed += 1
+                elif state == FAILED:
+                    failed += 1
+                else:
+                    orphaned.append(key)
+            self.recovered += completed
+        self.journal = journal
+        return RecoveryReport(
+            records=len(records),
+            completed=completed,
+            failed=failed,
+            orphaned=tuple(orphaned),
+            truncated_bytes=journal.truncated_bytes,
+        )
+
+    def checkpoint_journal(self) -> int:
+        """Sync and compact the attached journal down to the settled DONE set.
+
+        Returns the number of records in the compacted journal (``0`` and a
+        no-op without a journal).  Called by ``Server.drain_and_close()``
+        after in-flight work has finished, so the rewritten journal is a
+        complete, claim-free snapshot of everything replayable.
+        """
+
+        journal = self.journal
+        if journal is None:
+            return 0
+        with self._lock:
+            entries = [
+                (key, entry.result)
+                for key, entry in self._settled.items()
+                if entry.state == DONE and entry.result is not None
+            ]
+        return journal.checkpoint(entries)
 
     # -- internals ----------------------------------------------------------------
 
@@ -318,6 +427,7 @@ class RequestStore:
                 "duplicate_deliveries": self.duplicate_deliveries,
                 "failures": self.failures,
                 "evictions": self.evictions,
+                "recovered": self.recovered,
             }
 
 
@@ -336,40 +446,69 @@ class TenantQuota:
     limit becomes ``budget / estimated-seconds-per-request`` for the
     request's geometry — bigger problems get smaller queues.  When both are
     set the tighter limit wins; a quota with neither admits everything.
+
+    ``priority`` orders tenants for memory-driven load shedding (see
+    :meth:`AdmissionController.decide`): as live bytes approach the memory
+    accountant's budget, priority-0 tenants are shed first and higher
+    priorities survive to higher pressure.
     """
 
     max_pending: int | None = None
     max_backlog_seconds: float | None = None
+    priority: int = 0
 
     def __post_init__(self):
         if self.max_pending is not None and self.max_pending < 1:
             raise ValueError("max_pending must be at least 1")
         if self.max_backlog_seconds is not None and self.max_backlog_seconds <= 0:
             raise ValueError("max_backlog_seconds must be positive")
+        if self.priority < 0:
+            raise ValueError("priority must be non-negative")
 
 
 class AdmissionController:
     """Sheds load per tenant instead of queueing unboundedly.
 
+    Two independent shed policies run at submit time:
+
+    * **quota** — the classic per-tenant pending bound (``max_pending`` /
+      ``max_backlog_seconds``);
+    * **memory** — when the process-wide memory accountant
+      (:mod:`repro.obs.memory`) carries a live-bytes *budget*, admission
+      degrades gracefully as live bytes approach it: a tenant with priority
+      ``p`` is shed once pressure (live/budget) reaches
+      ``shed_start_fraction + (1 - shed_start_fraction) * p / (top + 1)``
+      where ``top`` is the highest configured priority — so the lowest
+      priority sheds first at ``shed_start_fraction`` and even the highest
+      priority sheds before the budget is fully exhausted.
+
     Parameters
     ----------
     quotas:
         ``{tenant: TenantQuota}``; ``default`` applies to tenants without an
-        explicit entry (``None`` admits them unconditionally).
+        explicit entry (``None`` admits them unconditionally — though
+        memory shedding still applies to them at priority 0).
     estimator:
         Optional :class:`~repro.serving.estimator.ServingEstimator` turning
         ``max_backlog_seconds`` quotas into pending-count limits via the
         model cost of one request's dense-assembly call.
+    shed_start_fraction:
+        Memory pressure at which priority-0 shedding begins.
     """
 
     def __init__(self, quotas: dict | None = None,
-                 default: TenantQuota | None = None, estimator=None):
+                 default: TenantQuota | None = None, estimator=None,
+                 shed_start_fraction: float = 0.8):
+        if not 0.0 < shed_start_fraction <= 1.0:
+            raise ValueError("shed_start_fraction must be in (0, 1]")
         self.quotas = dict(quotas or {})
         self.default = default
         self.estimator = estimator
+        self.shed_start_fraction = float(shed_start_fraction)
         self._lock = threading.Lock()
         self._pending: dict[str, int] = {}
         self._cost_cache: dict = {}
+        self.memory_sheds = 0  #: requests refused under memory pressure
 
     def pending(self, tenant: str) -> int:
         with self._lock:
@@ -389,16 +528,52 @@ class AdmissionController:
             limits.append(max(1, int(quota.max_backlog_seconds / per_request)))
         return min(limits) if limits else None
 
-    def admit(self, request: SolveRequest) -> bool:
-        """Admit (and count) the request, or refuse it over quota."""
+    def priority_for(self, tenant: str) -> int:
+        """Shed priority of a tenant (its quota's, or 0 without one)."""
 
+        quota = self.quotas.get(tenant, self.default)
+        return quota.priority if quota is not None else 0
+
+    def shed_threshold(self, priority: int) -> float:
+        """Memory pressure at which requests of ``priority`` start shedding."""
+
+        top = max(
+            [q.priority for q in self.quotas.values()]
+            + [self.default.priority if self.default is not None else 0]
+        )
+        start = self.shed_start_fraction
+        return start + (1.0 - start) * min(priority, top) / (top + 1)
+
+    def decide(self, request: SolveRequest) -> str | None:
+        """Admit (and count) the request, or return why it was refused.
+
+        ``None`` means admitted (the tenant's pending count was bumped;
+        pair with :meth:`release`).  ``"memory"`` means the live-bytes
+        budget is under pressure and this tenant's priority lost;
+        ``"quota"`` means the tenant is over its pending limit.
+        """
+
+        accountant = obs_memory.get_accountant()
+        if accountant is not None:
+            pressure = accountant.pressure()
+            if pressure is not None:
+                threshold = self.shed_threshold(self.priority_for(request.tenant))
+                if pressure >= threshold:
+                    with self._lock:
+                        self.memory_sheds += 1
+                    return "memory"
         limit = self.limit_for(request)
         with self._lock:
             count = self._pending.get(request.tenant, 0)
             if limit is not None and count >= limit:
-                return False
+                return "quota"
             self._pending[request.tenant] = count + 1
-            return True
+            return None
+
+    def admit(self, request: SolveRequest) -> bool:
+        """Admit (and count) the request, or refuse it (quota or memory)."""
+
+        return self.decide(request) is None
 
     def release(self, tenant: str) -> None:
         """Return one admitted slot (request completed, failed or expired)."""
